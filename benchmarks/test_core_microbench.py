@@ -1,0 +1,62 @@
+"""Raw engine microbenchmarks: packets/second through each GRO variant.
+
+Not a paper figure — a performance regression guard for the reproduction
+itself (the simulator must stay fast enough to run the full grids).
+"""
+
+import random
+
+from conftest import show
+
+from repro.core import ChainedGRO, JugglerConfig, JugglerGRO, StandardGRO
+from repro.net import FiveTuple, MSS, Packet
+from repro.sim.time import US
+
+FLOW = FiveTuple(1, 2, 1000, 80)
+N = 20_000
+
+
+def shuffled_stream(window=16):
+    """A lightly reordered packet stream, regenerated per call."""
+    rng = random.Random(9)
+    order = list(range(N))
+    for i in range(0, N - window, window):
+        chunk = order[i:i + window]
+        rng.shuffle(chunk)
+        order[i:i + window] = chunk
+    return [Packet(FLOW, i * MSS, MSS) for i in order]
+
+
+def drive(engine_cls, packets, **kw):
+    gro = engine_cls(lambda s: None, **kw)
+    for i, packet in enumerate(packets):
+        gro.receive(packet, now=i * 100)
+        if i % 64 == 0:
+            gro.poll_complete(now=i * 100)
+    gro.flush_all(now=N * 100)
+    return gro
+
+
+def test_juggler_receive_path_speed(benchmark):
+    packets = shuffled_stream()
+    gro = benchmark.pedantic(
+        drive, args=(JugglerGRO, packets),
+        kwargs={"config": JugglerConfig()}, rounds=3, iterations=1)
+    assert gro.stats.packets == N
+    show("Microbench — JugglerGRO receive path",
+         f"  processed {N} lightly-reordered packets; "
+         f"batching {gro.stats.batching_extent:.1f} MTUs/segment")
+
+
+def test_standard_gro_receive_path_speed(benchmark):
+    packets = shuffled_stream()
+    gro = benchmark.pedantic(drive, args=(StandardGRO, packets),
+                             rounds=3, iterations=1)
+    assert gro.stats.packets == N
+
+
+def test_chained_gro_receive_path_speed(benchmark):
+    packets = shuffled_stream()
+    gro = benchmark.pedantic(drive, args=(ChainedGRO, packets),
+                             rounds=3, iterations=1)
+    assert gro.stats.packets == N

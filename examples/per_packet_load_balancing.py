@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Per-packet load balancing on a Clos fabric (§5.3.2, Figure 20).
+
+Eight servers send to eight clients across a two-spine Clos: four pairs
+stream 1 MB RPCs, four pairs latency-sensitive 150 B RPCs.  We compare
+per-flow ECMP, Presto-style per-TSO spraying, and per-packet spraying —
+the finest granularity, possible only because every receiver runs Juggler.
+
+Run:  python examples/per_packet_load_balancing.py
+"""
+
+from repro.experiments.fig20_load_balancing import (
+    Fig20Params,
+    LbPolicy,
+    run_cell,
+)
+
+
+def main() -> None:
+    params = Fig20Params(warmup_ms=6, measure_ms=20)
+    load = 90
+    print(f"All-to-all RPCs at {load}% fabric load, Juggler receivers:\n")
+    print(f"{'policy':>14}  {'small RPC p50':>13}  {'small RPC p99':>13}  "
+          f"{'large RPC p99':>13}")
+    rows = {}
+    for policy in (LbPolicy.ECMP, LbPolicy.PER_TSO, LbPolicy.PER_PACKET):
+        point = run_cell(params, policy, load)
+        rows[policy] = point
+        print(f"{policy.value:>14}  {point.small_p50_us:>11.1f}us  "
+              f"{point.small_p99_us:>11.1f}us  {point.large_p99_ms:>11.2f}ms")
+    speedup = (rows[LbPolicy.ECMP].small_p99_us
+               / rows[LbPolicy.PER_PACKET].small_p99_us)
+    print(f"\nPer-packet spraying cuts the small-RPC tail {speedup:.1f}x "
+          "versus per-flow ECMP\n(the paper reports >= 2x past 50% load) — "
+          "but only a reordering-resilient\nstack can use it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: Juggler vs the vanilla kernel under severe packet reordering.
+
+One bulk TCP flow crosses a NetFPGA-style switch that sends每 packet down
+one of two paths, the second delayed by 250 µs (Figure 11 of the paper).
+The vanilla GRO path collapses its batching and churns TCP recovery; the
+Juggler-enabled stack hides the reordering entirely.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.core import JugglerConfig, JugglerGRO, StandardGRO
+from repro.fabric import build_netfpga_pair
+from repro.nic import NicConfig
+from repro.sim import Engine, MS, US
+from repro.tcp import Connection, TcpConfig
+
+
+def run(kernel: str) -> dict:
+    """Drive one 10 Gb/s bulk flow for 25 ms under 250 µs reordering."""
+    engine = Engine()
+    rng = random.Random(42)
+
+    if kernel == "juggler":
+        # §5.2.1's tuning rules: inseq_timeout = time to receive one 64 KB
+        # segment at line rate; ofo_timeout >= the expected path-delay skew.
+        config = JugglerConfig(inseq_timeout=52 * US, ofo_timeout=400 * US)
+        gro_factory = lambda deliver: JugglerGRO(deliver, config)
+    else:
+        gro_factory = lambda deliver: StandardGRO(deliver)
+
+    testbed = build_netfpga_pair(
+        engine,
+        rng,
+        gro_factory,
+        rate_gbps=10.0,
+        reorder_delay_ns=250 * US,
+        nic_config=NicConfig(coalesce_frames=25),
+    )
+    conn = Connection(engine, testbed.sender, testbed.receiver, 1000, 80,
+                      TcpConfig(init_cwnd=1 << 20, rx_buffer=8 << 20))
+    conn.send(1 << 40)  # a practically-endless stream
+
+    engine.run_until(5 * MS)  # let slow start finish
+    baseline = conn.delivered_bytes
+    engine.run_until(25 * MS)
+
+    stats = testbed.receiver.gro_engines[0].stats
+    return {
+        "throughput_gbps": (conn.delivered_bytes - baseline) * 8 / (20 * MS),
+        "batching_mtus_per_segment": stats.batching_extent,
+        "segments_to_tcp": stats.segments,
+        "ooo_segments_to_tcp": stats.ooo_segments,
+        "acks_sent": conn.receiver.acks_sent,
+        "spurious_retransmissions": conn.sender.retransmitted_packets,
+    }
+
+
+def main() -> None:
+    print("One 10 Gb/s TCP flow, every packet sprayed across two paths")
+    print("(second path +250 us) -- the reordering Juggler was built for.\n")
+    results = {kernel: run(kernel) for kernel in ("juggler", "vanilla")}
+    keys = list(next(iter(results.values())))
+    width = max(len(k) for k in keys)
+    print(f"{'':{width}}  {'juggler':>12}  {'vanilla':>12}")
+    for key in keys:
+        j, v = results["juggler"][key], results["vanilla"][key]
+        fmt = (lambda x: f"{x:12.2f}") if isinstance(j, float) else (
+            lambda x: f"{x:12d}")
+        print(f"{key:{width}}  {fmt(j)}  {fmt(v)}")
+    print("\nJuggler merges out-of-order packets back into full-size "
+          "segments;\nthe vanilla stack delivers ~20x more (mostly "
+          "out-of-order) segments\nand pays for it in ACKs, spurious "
+          "retransmissions and CPU.")
+
+
+if __name__ == "__main__":
+    main()

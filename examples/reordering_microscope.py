@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""A microscope on Juggler's state machine (Figures 5, 6, 7 of the paper).
+
+Feeds a hand-crafted packet arrival sequence into a bare JugglerGRO engine
+and narrates every buffering decision, flush (and its Table 2 reason), and
+phase transition — the exact walks the paper's Figures 6 and 7 illustrate.
+
+Run:  python examples/reordering_microscope.py
+"""
+
+from repro.core import FlushReason, JugglerConfig, JugglerGRO
+from repro.net import FiveTuple, MSS, Packet
+from repro.sim import US
+
+FLOW = FiveTuple(1, 2, 1000, 80)
+
+
+class Microscope:
+    """Wraps an engine to narrate everything it does."""
+
+    def __init__(self):
+        config = JugglerConfig(inseq_timeout=15 * US, ofo_timeout=50 * US)
+        self.gro = JugglerGRO(lambda segment: None, config)
+        original = self.gro._deliver_segment
+
+        def narrate(segment, reason, now):
+            print(f"    {now / 1000:7.1f}us  FLUSH [{segment.seq // MSS}"
+                  f"..{segment.end_seq // MSS}) x{segment.mtus} MTU "
+                  f"({reason.value})")
+            original(segment, reason, now)
+
+        self.gro._deliver_segment = narrate
+
+    def packet(self, index, now_us, note=""):
+        print(f"    {now_us:7.1f}us  packet #{index} arrives  {note}")
+        self.gro.receive(Packet(FLOW, index * MSS, MSS), int(now_us * 1000))
+        self.state()
+
+    def tick(self, now_us, note=""):
+        print(f"    {now_us:7.1f}us  (timer check)  {note}")
+        self.gro.check_timeouts(int(now_us * 1000))
+        self.state()
+
+    def state(self):
+        entry = self.gro.table.lookup(FLOW)
+        if entry is None:
+            print("               flow not tracked")
+            return
+        nodes = [f"[{n.seq // MSS}..{n.end_seq // MSS})"
+                 for n in entry.ofo.nodes]
+        lost = (f" lost_seq=#{entry.lost_seq // MSS}"
+                if entry.lost_seq is not None else "")
+        print(f"               phase={entry.phase.value} "
+              f"seq_next=#{(entry.seq_next or 0) // MSS} "
+              f"queue={' '.join(nodes) or '(empty)'}{lost}")
+
+
+def main() -> None:
+    scope = Microscope()
+
+    print("\n=== Figure 6: build-up, merging, and retransmission inference "
+          "===\n")
+    scope.packet(3, 0.0, "(first packet seen: build-up starts)")
+    scope.packet(5, 1.0, "(buffered out of order)")
+    scope.packet(2, 2.0, "(seq_next moves BACKWARD in build-up)")
+    scope.tick(20.0, "inseq_timeout: flush the in-sequence run #2-#3")
+    scope.packet(1, 25.0, "(below seq_next now: inferred retransmission, "
+                          "flushed alone)")
+
+    print("\n=== Figure 7: loss recovery ===\n")
+    scope.tick(80.0, "ofo_timeout: #4 presumed lost; flush #5, enter "
+                     "loss recovery")
+    scope.packet(7, 85.0, "(buffered: loss recovery still merges)")
+    scope.packet(6, 86.0, "(merges with #7)")
+    scope.packet(4, 90.0, "(the 'lost' packet returns: hole filled, back "
+                          "to active merging)")
+    scope.tick(110.0, "inseq_timeout: flush #6-#7")
+
+    print("\nEverything above reached TCP in the best order Juggler could "
+          "manage,\nwhile holding at most a few hundred microseconds of "
+          "packets.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setup entry point (classic layout; see setup.cfg for all metadata)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Reproduction of "Juggler: A Practical Reordering Resilient Network Stack
+for Datacenters" (Geng, Jeyakumar, Kabbani, Alizadeh — EuroSys 2016).
+
+The package provides:
+
+* ``repro.core`` — the Juggler GRO engine (the paper's contribution) and its
+  baselines (vanilla GRO, linked-list batching, Presto-style buffering);
+* ``repro.sim`` / ``repro.net`` / ``repro.nic`` / ``repro.fabric`` /
+  ``repro.tcp`` / ``repro.cpu`` — the simulated substrate replacing the
+  paper's 10/40 Gb/s hardware testbeds;
+* ``repro.qos`` — the dynamic-prioritisation bandwidth-guarantee system;
+* ``repro.workloads`` / ``repro.harness`` — traffic generators and metrics;
+* ``repro.experiments`` — one module per paper table/figure.
+
+Quickstart::
+
+    import random
+    from repro.sim import Engine, MS, US
+    from repro.core import JugglerGRO, JugglerConfig
+    from repro.fabric import build_netfpga_pair
+    from repro.tcp import Connection
+
+    engine = Engine()
+    rng = random.Random(1)
+    factory = lambda deliver: JugglerGRO(
+        deliver, JugglerConfig(inseq_timeout=52 * US, ofo_timeout=400 * US))
+    bed = build_netfpga_pair(engine, rng, factory, reorder_delay_ns=250 * US)
+    conn = Connection(engine, bed.sender, bed.receiver, 1000, 80)
+    conn.send(1 << 30)
+    engine.run_until(20 * MS)
+    print(conn.delivered_bytes * 8 / (20 * MS), "Gb/s despite reordering")
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import JugglerConfig, JugglerGRO, StandardGRO
+from repro.harness import GroKind, make_gro_factory
+from repro.sim import MS, NS, SEC, US, Engine
+
+__all__ = [
+    "__version__",
+    "JugglerConfig",
+    "JugglerGRO",
+    "StandardGRO",
+    "GroKind",
+    "make_gro_factory",
+    "Engine",
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+]

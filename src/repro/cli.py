@@ -1,0 +1,169 @@
+"""Command-line entry point: run any reproduced experiment by name.
+
+::
+
+    juggler-repro list
+    juggler-repro fig12
+    juggler-repro fig20 ablations
+    juggler-repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+
+def _fig01() -> str:
+    from repro.experiments import fig01_bandwidth_guarantee as m
+
+    return m.render(m.run())
+
+
+def _fig09() -> str:
+    from repro.experiments import cpu_overhead as m
+
+    return m.render(m.run_figure(1))
+
+
+def _fig10() -> str:
+    from repro.experiments import cpu_overhead as m
+
+    return m.render(m.run_figure(256))
+
+
+def _fig12() -> str:
+    from repro.experiments import fig12_inseq_timeout as m
+
+    return m.render(m.run())
+
+
+def _fig13() -> str:
+    from repro.experiments import fig13_ofo_timeout_throughput as m
+
+    return m.render(m.run())
+
+
+def _fig14() -> str:
+    from repro.experiments import fig14_ofo_timeout_latency as m
+
+    return m.render(m.run())
+
+
+def _fig15() -> str:
+    from repro.experiments import fig15_active_flows as m
+
+    return m.render(m.run())
+
+
+def _fig16() -> str:
+    from repro.experiments import fig16_active_list_histogram as m
+
+    return m.render(m.run())
+
+
+def _fig18() -> str:
+    from repro.experiments import fig18_bandwidth_sweep as m
+
+    return m.render(m.run())
+
+
+def _fig20() -> str:
+    from repro.experiments import fig20_load_balancing as m
+
+    return m.render(m.run())
+
+
+def _sec31() -> str:
+    from repro.experiments import sec31_chained_gro_cost as m
+
+    return m.render(m.run())
+
+
+def _sec512() -> str:
+    from repro.experiments import sec512_latency_overhead as m
+
+    return m.render(m.run())
+
+
+def _ablations() -> str:
+    from repro.experiments import ablations as m
+
+    parts = [
+        "Build-up phase:",
+        m.render(m.run_buildup_ablation()),
+        "\nEviction policy:",
+        m.render(m.run_eviction_ablation()),
+        "\ngro_table size:",
+        m.render(m.run_table_size_ablation()),
+    ]
+    return "\n".join(parts)
+
+
+def _scheduling() -> str:
+    from repro.experiments import flow_scheduling as m
+
+    return m.render(m.run())
+
+
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig01": (_fig01, "bandwidth-guarantee time series (Figure 1)"),
+    "fig09": (_fig09, "CPU overhead, single flow (Figure 9)"),
+    "fig10": (_fig10, "CPU overhead, 256 flows (Figure 10)"),
+    "fig12": (_fig12, "batching vs inseq_timeout (Figure 12)"),
+    "fig13": (_fig13, "throughput vs ofo_timeout (Figure 13)"),
+    "fig14": (_fig14, "RPC tail vs ofo_timeout under loss (Figure 14)"),
+    "fig15": (_fig15, "active flows vs concurrency (Figure 15)"),
+    "fig16": (_fig16, "active-list statistics on Clos (Figure 16)"),
+    "fig18": (_fig18, "guarantee sweep (Figure 18)"),
+    "fig20": (_fig20, "load-balancing granularity (Figure 20)"),
+    "sec31": (_sec31, "linked-list batching cost (Section 3.1)"),
+    "sec512": (_sec512, "latency overhead (Section 5.1.2)"),
+    "ablations": (_ablations, "design-choice ablations (DESIGN.md §5)"),
+    "scheduling": (_scheduling, "extension: PIAS/pFabric flow scheduling"),
+}
+
+
+def main(argv=None) -> int:
+    """Entry point for the ``juggler-repro`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="juggler-repro",
+        description="Run reproduced experiments from the Juggler paper "
+                    "(EuroSys 2016).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment names (see 'list'), or 'all'",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.experiments or args.experiments == ["list"]:
+        print("available experiments:")
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"  {name:12s} {description}")
+        print("  all          run everything")
+        return 0
+
+    names = (list(EXPERIMENTS) if args.experiments == ["all"]
+             else args.experiments)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    for name in names:
+        runner, description = EXPERIMENTS[name]
+        print(f"\n=== {name}: {description} ===")
+        started = time.time()
+        print(runner())
+        print(f"({time.time() - started:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

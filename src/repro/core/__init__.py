@@ -1,0 +1,46 @@
+"""The paper's contribution: the Juggler GRO engine and its baselines.
+
+Everything in this package is a pure algorithm over ``(packet, timestamp)``
+inputs — no dependence on the simulator — so the reordering logic can be
+unit-tested, property-tested and reused standalone, exactly as the kernel
+patch sits behind the GRO API.
+
+Engines share one interface (:class:`~repro.core.base.GroEngine`):
+
+* :class:`JugglerGRO` — the paper's design: per-flow OOO queues, five-phase
+  lifecycle, bounded ``gro_table`` with aggressive eviction (§4).
+* :class:`StandardGRO` — the vanilla kernel baseline: in-sequence merging
+  only, everything flushed at every polling completion (§3.1).
+* :class:`ChainedGRO` — the rejected alternative from §3.1 that batches
+  regardless of order into linked-list chains (50% extra CPU).
+* :class:`PrestoGRO` — a Presto-style OOO buffer that keeps state for every
+  connection with no eviction (§6, related work).
+"""
+
+from repro.core.config import JugglerConfig
+from repro.core.phases import Phase
+from repro.core.flush import FlushReason
+from repro.core.stats import GroStats
+from repro.core.ofo_queue import OfoQueue
+from repro.core.flow_entry import FlowEntry
+from repro.core.gro_table import GroTable
+from repro.core.base import GroEngine
+from repro.core.juggler import JugglerGRO
+from repro.core.standard_gro import StandardGRO
+from repro.core.chained_gro import ChainedGRO
+from repro.core.presto_gro import PrestoGRO
+
+__all__ = [
+    "JugglerConfig",
+    "Phase",
+    "FlushReason",
+    "GroStats",
+    "OfoQueue",
+    "FlowEntry",
+    "GroTable",
+    "GroEngine",
+    "JugglerGRO",
+    "StandardGRO",
+    "ChainedGRO",
+    "PrestoGRO",
+]

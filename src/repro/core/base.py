@@ -1,0 +1,75 @@
+"""Common interface and plumbing for all GRO engine variants.
+
+An engine is driven exactly like the kernel GRO path: the NAPI layer calls
+:meth:`receive` once per wire packet during a polling cycle and
+:meth:`poll_complete` when the cycle ends; a per-table high-resolution timer
+calls :meth:`check_timeouts` between cycles.  Merged segments leave through
+the ``deliver`` callback, which in the full simulation is the TCP receiver.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+from repro.core.flush import FlushReason
+from repro.core.stats import GroStats
+from repro.cpu.accounting import GroCpuAccountant, NullAccountant
+from repro.net.packet import Packet
+from repro.net.segment import Segment
+
+DeliverFn = Callable[[Segment], None]
+
+
+class GroEngine(abc.ABC):
+    """Abstract GRO engine: packets in, merged segments out."""
+
+    def __init__(
+        self,
+        deliver: DeliverFn,
+        accountant: Optional[GroCpuAccountant] = None,
+    ):
+        self.deliver = deliver
+        self.accountant = accountant if accountant is not None else NullAccountant()
+        self.stats = GroStats()
+
+    @abc.abstractmethod
+    def receive(self, packet: Packet, now: int) -> None:
+        """Process one packet arriving from the driver at time ``now``."""
+
+    @abc.abstractmethod
+    def poll_complete(self, now: int) -> None:
+        """NAPI polling cycle finished; run end-of-poll housekeeping."""
+
+    def check_timeouts(self, now: int) -> None:
+        """High-resolution-timer callback; default engines have no timers."""
+
+    def next_deadline(self) -> Optional[int]:
+        """Earliest absolute time a timeout could fire, or None."""
+        return None
+
+    @abc.abstractmethod
+    def flush_all(self, now: int) -> None:
+        """Drain every buffered packet (experiment teardown)."""
+
+    # -- shared delivery plumbing -------------------------------------------
+
+    def _deliver_segment(self, segment: Segment, reason: FlushReason, now: int) -> None:
+        """Push one merged segment up the stack, with accounting."""
+        segment.flushed_at = now
+        self.stats.record_delivery(
+            segment.flow, segment.seq, segment.end_seq, segment.mtus, reason
+        )
+        self.accountant.on_flush_segment(segment)
+        self.deliver(segment)
+
+    def _deliver_packet(self, packet: Packet, reason: FlushReason, now: int) -> None:
+        """Push one unmerged packet up as a single-MTU segment."""
+        self._deliver_segment(Segment([packet]), reason, now)
+
+    def _passthrough(self, packet: Packet, now: int) -> None:
+        """Bypass batching entirely (pure ACKs and other unbatchables)."""
+        self.stats.passthrough_packets += 1
+        segment = Segment([packet])
+        segment.flushed_at = now
+        self.deliver(segment)

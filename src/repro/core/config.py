@@ -1,0 +1,72 @@
+"""Juggler's tunables.
+
+The paper exposes exactly two global timeouts (§5.2.1) plus the gro_table
+capacity (§5.2.2).  Defaults follow §5: ``inseq_timeout`` = 15 µs,
+``ofo_timeout`` = 50 µs, and a 64-entry table ("Even if the application
+requires J UGGLER to handle up to 1ms of reordering, a 64 entry gro_table is
+adequate").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.constants import MAX_GRO_SEGMENT
+from repro.sim.time import US
+
+
+@dataclass(frozen=True)
+class JugglerConfig:
+    """Tunable parameters of a Juggler GRO instance (one per RX queue)."""
+
+    #: Max time (ns) a partially merged *in-sequence* segment may be held
+    #: before being flushed up the stack.  Rule of thumb (§5.2.1): the time
+    #: to receive one maximum-size 64 KB segment at line rate — 52 µs at
+    #: 10 Gb/s, 13 µs at 40 Gb/s.
+    inseq_timeout: int = 15 * US
+
+    #: Max time (ns) to wait for a missing packet before flushing the whole
+    #: OOO queue and entering loss recovery.  Should be the largest expected
+    #: out-of-order delay, minus the interrupt-coalescing period (§5.2.1).
+    ofo_timeout: int = 50 * US
+
+    #: Hard upper bound on flows tracked per gro_table (per RX queue) —
+    #: the defence against memory-exhaustion DoS (§3.3).
+    table_capacity: int = 64
+
+    #: Flush a merged segment once it reaches this many payload bytes.
+    max_segment_bytes: int = MAX_GRO_SEGMENT
+
+    #: Ablation knob: disable the build-up phase (Remark 1).  When False, a
+    #: new flow pins ``seq_next`` to its first packet's sequence number and
+    #: enters active merging immediately — the paper measured ~6% more
+    #: segments up the stack without the build-up optimisation.
+    enable_buildup: bool = True
+
+    #: Transports whose packets Juggler buffers and reorders.  TCP by
+    #: default; the design "holds for other transports such as SCTP that
+    #: impose packet order as well" (§4) — add protocol 132 to enable the
+    #: SCTP-style transport in :mod:`repro.sctp`.
+    protocols: tuple = (6,)
+
+    #: Ablation knob: victim-selection order when the table is full.
+    #: ``"inactive_first"`` is the paper's policy (§4.3); ``"fifo"`` evicts
+    #: the oldest entry regardless of phase; ``"active_first"`` is the
+    #: adversarial inversion used to demonstrate why the paper's order wins.
+    eviction_policy: str = "inactive_first"
+
+    def __post_init__(self) -> None:
+        if self.inseq_timeout < 0:
+            raise ValueError(f"inseq_timeout must be >= 0, got {self.inseq_timeout}")
+        if self.ofo_timeout < 0:
+            raise ValueError(f"ofo_timeout must be >= 0, got {self.ofo_timeout}")
+        if self.table_capacity < 1:
+            raise ValueError(f"table_capacity must be >= 1, got {self.table_capacity}")
+        if self.max_segment_bytes < 1:
+            raise ValueError(
+                f"max_segment_bytes must be >= 1, got {self.max_segment_bytes}"
+            )
+        if self.eviction_policy not in ("inactive_first", "fifo", "active_first"):
+            raise ValueError(
+                f"unknown eviction_policy: {self.eviction_policy!r}"
+            )

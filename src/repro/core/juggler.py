@@ -1,0 +1,320 @@
+"""The Juggler GRO engine (§4 of the paper).
+
+One instance serves one NIC receive queue, exactly as the kernel patch
+instantiates its data structures per-queue.  The engine:
+
+* keys flows in a capacity-bounded :class:`~repro.core.gro_table.GroTable`;
+* walks each flow through the five-phase lifecycle of Figure 5;
+* buffers out-of-order packets in per-flow :class:`~repro.core.ofo_queue.OfoQueue`
+  runs, merging into frags[]-style segments;
+* flushes on the Table 2 conditions — event-driven checks after every merge,
+  timeout checks at polling completion and from the per-table hrtimer;
+* evicts aggressively in the §4.3 preference order when the table fills.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.base import DeliverFn, GroEngine
+from repro.core.config import JugglerConfig
+from repro.core.flow_entry import FlowEntry
+from repro.core.flush import FlushReason
+from repro.core.gro_table import GroTable
+from repro.core.phases import Phase
+from repro.cpu.accounting import GroCpuAccountant
+from repro.net.constants import MSS
+from repro.net.packet import Packet
+from repro.net.segment import BatchingMode, Segment
+
+
+class JugglerGRO(GroEngine):
+    """Reordering-resilient GRO for one RX queue."""
+
+    def __init__(
+        self,
+        deliver: DeliverFn,
+        config: Optional[JugglerConfig] = None,
+        accountant: Optional[GroCpuAccountant] = None,
+    ):
+        super().__init__(deliver, accountant)
+        self.config = config if config is not None else JugglerConfig()
+        self.table = GroTable(self.config.table_capacity)
+
+    # -- public state inspection (Figs. 15, 16 sample these) ----------------
+
+    @property
+    def active_list_len(self) -> int:
+        """Flows currently in build-up or active merging."""
+        return self.table.active_len
+
+    @property
+    def inactive_list_len(self) -> int:
+        """Flows parked in post-merge."""
+        return self.table.inactive_len
+
+    @property
+    def loss_recovery_list_len(self) -> int:
+        """Flows awaiting a presumed-lost packet."""
+        return self.table.loss_recovery_len
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Payload bytes currently held across all OOO queues.
+
+        Bounded by design: at most ``table_capacity`` flows are tracked, and
+        each flow's queue drains within ``ofo_timeout`` — the §3.3 defence
+        against memory-exhaustion attacks.
+        """
+        return sum(entry.ofo.buffered_bytes for entry in self.table)
+
+    @property
+    def resident_state_bytes(self) -> int:
+        """Rough kernel-memory footprint of the flow table (cf. PrestoGRO):
+        ~96 bytes of flow_entry + list linkage per tracked flow, plus the
+        buffered payload."""
+        return 96 * len(self.table) + self.buffered_bytes
+
+    # -- the receive path ----------------------------------------------------
+
+    def receive(self, packet: Packet, now: int) -> None:
+        """Per-packet entry point, called from the NAPI poll loop."""
+        self.accountant.on_rx_packet()
+        self.accountant.on_gro_packet()
+
+        if (packet.payload_len == 0
+                or packet.flow.proto not in self.config.protocols):
+            # Pure ACKs are never batched, and traffic from unconfigured
+            # transports is not Juggler's business (§4: "we primarily focus
+            # on the handling of TCP traffic") — both bypass the flow table.
+            self._passthrough(packet, now)
+            return
+
+        self.stats.packets += 1
+        entry = self.table.lookup(packet.flow)
+        if entry is None:
+            entry = self._admit_new_flow(packet, now)
+        entry.last_seen = now
+
+        if entry.phase is Phase.BUILD_UP:
+            # seq_next may still move backwards while we learn it (§4.2.2).
+            entry.learn_seq_next(packet.seq)
+            self._buffer_packet(entry, packet, now)
+        else:
+            self._receive_established(entry, packet, now)
+
+        self._event_checks(entry, now)
+
+    def _admit_new_flow(self, packet: Packet, now: int) -> FlowEntry:
+        """Initial phase: create the entry, evicting if the table is full."""
+        if self.table.full:
+            self._evict(self.table.pick_victim(self.config.eviction_policy), now)
+        entry = FlowEntry(packet.flow, now,
+                          max_payload=self.config.max_segment_bytes)
+        self.stats.flows_created += 1
+        # The initial phase is transient: the entry is stored already in the
+        # build-up phase, on the active list (Figure 5).  With the build-up
+        # ablation disabled, seq_next pins to the first packet seen and the
+        # flow starts merging immediately — if that packet was out of order,
+        # the rest of its burst gets flushed prematurely (Remark 1).
+        if self.config.enable_buildup:
+            entry.phase = Phase.BUILD_UP
+        else:
+            entry.phase = Phase.ACTIVE_MERGE
+            entry.seq_next = packet.seq
+        self.table.add(entry)
+        return entry
+
+    def _receive_established(self, entry: FlowEntry, packet: Packet, now: int) -> None:
+        """Active-merge / post-merge / loss-recovery packet handling."""
+        assert entry.seq_next is not None
+        if packet.end_seq <= entry.seq_next:
+            # Entirely before seq_next: those bytes were already flushed, so
+            # this is likely a retransmission — deliver it immediately
+            # (Figure 6) and let TCP sort it out.
+            self._deliver_packet(packet, FlushReason.RETRANSMISSION, now)
+            self._maybe_fill_hole(entry, packet, now)
+            return
+
+        if packet.seq < entry.seq_next:
+            # Straddles seq_next: partially old, partially new.  Best-effort:
+            # deliver immediately (TCP trims the overlap) and account the new
+            # bytes as flushed.
+            self._deliver_packet(packet, FlushReason.RETRANSMISSION, now)
+            self._maybe_fill_hole(entry, packet, now)
+            entry.advance_seq_next(packet.end_seq)
+            # Advancing seq_next may leave buffered nodes starting below it;
+            # such nodes would be neither "in sequence" nor "a hole" and no
+            # timeout would ever release them — flush them now.
+            self._normalize_queue(entry, now)
+            entry.refresh_hole_state(now)
+            return
+
+        if entry.phase is Phase.POST_MERGE:
+            # Fresh data after a quiescent period: back to active merging.
+            self.table.move(entry, Phase.ACTIVE_MERGE)
+        self._buffer_packet(entry, packet, now)
+
+    def _maybe_fill_hole(self, entry: FlowEntry, packet: Packet, now: int) -> None:
+        """Loss recovery exit: the retransmission covered ``lost_seq``."""
+        if (
+            entry.phase is Phase.LOSS_RECOVERY
+            and entry.lost_seq is not None
+            and packet.seq <= entry.lost_seq < packet.end_seq
+        ):
+            entry.lost_seq = None
+            self.table.move(entry, Phase.ACTIVE_MERGE)
+
+    def _normalize_queue(self, entry: FlowEntry, now: int) -> None:
+        """Restore the invariant that every buffered node starts at or after
+        ``seq_next`` by flushing the ones that no longer do."""
+        assert entry.seq_next is not None
+        while entry.ofo.head is not None and entry.ofo.head.seq < entry.seq_next:
+            node = entry.ofo.pop_head()
+            if node.end_seq <= entry.seq_next:
+                # Entirely behind the watermark: stale duplicate bytes.
+                self._deliver_segment(node, FlushReason.DUPLICATE, now)
+            else:
+                # Carries fresh bytes past the watermark: deliver the whole
+                # node (TCP trims the overlap) and advance.
+                entry.advance_seq_next(node.end_seq)
+                self._deliver_segment(node, FlushReason.RETRANSMISSION, now)
+        if not entry.ofo and entry.phase is Phase.ACTIVE_MERGE:
+            self.table.move(entry, Phase.POST_MERGE)
+
+    def _buffer_packet(self, entry: FlowEntry, packet: Packet, now: int) -> None:
+        """Insert into the flow's OOO queue, merging where possible."""
+        result = entry.ofo.insert(packet)
+        self.stats.nodes_scanned += result.scanned
+        self.accountant.on_node_scan(result.scanned)
+        if result.duplicate:
+            # Bytes already buffered: never hold the copy (memory safety);
+            # hand it up so TCP's DSACK machinery sees it.
+            self.stats.duplicates += 1
+            self._deliver_packet(packet, FlushReason.DUPLICATE, now)
+            return
+        if result.merged:
+            self.stats.merges += 1
+            self.accountant.on_merge(BatchingMode.FRAGS_ARRAY)
+        entry.refresh_hole_state(now)
+
+    # -- event-driven flush checks (rows 1-4 of Table 2) ----------------------
+
+    def _event_checks(self, entry: FlowEntry, now: int) -> None:
+        """Flush in-sequence head runs that meet an event-driven condition.
+
+        Runs after every packet ("in-sequence packet flushing decisions are
+        made after merging every packet", Figure 2 caption).
+        """
+        while True:
+            head = entry.ofo.head
+            if head is None or head.seq != entry.seq_next:
+                break
+            if head.payload_len + MSS > self.config.max_segment_bytes:
+                reason = FlushReason.SEGMENT_FULL
+            elif head.closed:
+                reason = FlushReason.FLAGS
+            elif len(entry.ofo.nodes) > 1 and entry.ofo.nodes[1].seq == head.end_seq:
+                # Contiguous with the next run yet unmerged: header mismatch
+                # (TCP options / CE marks) — flush rather than delay.
+                reason = FlushReason.UNMERGEABLE
+            else:
+                break
+            self._flush_head(entry, reason, now)
+        self._after_flush_transitions(entry, now)
+
+    def _flush_head(self, entry: FlowEntry, reason: FlushReason, now: int) -> None:
+        node = entry.ofo.pop_head()
+        if entry.phase is Phase.BUILD_UP:
+            self.table.move(entry, Phase.ACTIVE_MERGE)
+        entry.advance_seq_next(node.end_seq)
+        entry.flush_timestamp = now
+        self._deliver_segment(node, reason, now)
+
+    def _after_flush_transitions(self, entry: FlowEntry, now: int) -> None:
+        entry.refresh_hole_state(now)
+        if not entry.ofo and entry.phase is Phase.ACTIVE_MERGE:
+            # Queue drained by in-sequence flushing: park on the inactive
+            # list, the preferred eviction pool (§4.2.4).
+            self.table.move(entry, Phase.POST_MERGE)
+
+    # -- timeout checks (rows 5-6 of Table 2) --------------------------------
+
+    def poll_complete(self, now: int) -> None:
+        """End of a NAPI polling cycle: run the timeout checks (§4.1)."""
+        self.accountant.on_poll()
+        self.check_timeouts(now)
+
+    def check_timeouts(self, now: int) -> None:
+        """inseq/ofo timeout sweep — poll completions and the hrtimer."""
+        for entry in list(self.table.iter_with_deadlines()):
+            if (
+                entry.hole_since is not None
+                and now - entry.hole_since >= self.config.ofo_timeout
+            ):
+                self._ofo_timeout_fire(entry, now)
+            elif (
+                entry.head_in_sequence
+                and now - entry.flush_timestamp >= self.config.inseq_timeout
+            ):
+                self._inseq_timeout_fire(entry, now)
+
+    def _inseq_timeout_fire(self, entry: FlowEntry, now: int) -> None:
+        """Flush the in-order run at the head — don't delay it any longer."""
+        assert entry.seq_next is not None
+        run = entry.ofo.pop_inseq_run(entry.seq_next)
+        if not run:
+            return
+        if entry.phase is Phase.BUILD_UP:
+            self.table.move(entry, Phase.ACTIVE_MERGE)
+        for node in run:
+            entry.advance_seq_next(node.end_seq)
+            self._deliver_segment(node, FlushReason.INSEQ_TIMEOUT, now)
+        entry.flush_timestamp = now
+        self._after_flush_transitions(entry, now)
+
+    def _ofo_timeout_fire(self, entry: FlowEntry, now: int) -> None:
+        """The missing packet is presumed lost: flush everything, enter loss
+        recovery (§4.2.5, Figure 7)."""
+        assert entry.seq_next is not None
+        nodes = entry.ofo.pop_all()
+        if entry.phase is not Phase.LOSS_RECOVERY:
+            # Remember only the *first* lost packet (best-effort design).
+            entry.lost_seq = entry.seq_next
+        for node in nodes:
+            entry.advance_seq_next(node.end_seq)
+            self._deliver_segment(node, FlushReason.OFO_TIMEOUT, now)
+        entry.flush_timestamp = now
+        entry.hole_since = None
+        if entry.phase is not Phase.LOSS_RECOVERY:
+            self.table.move(entry, Phase.LOSS_RECOVERY)
+
+    def next_deadline(self) -> Optional[int]:
+        """Earliest pending inseq/ofo deadline, for arming the hrtimer."""
+        deadline: Optional[int] = None
+        for entry in self.table.iter_with_deadlines():
+            if entry.head_in_sequence:
+                candidate = entry.flush_timestamp + self.config.inseq_timeout
+                if deadline is None or candidate < deadline:
+                    deadline = candidate
+            if entry.hole_since is not None:
+                candidate = entry.hole_since + self.config.ofo_timeout
+                if deadline is None or candidate < deadline:
+                    deadline = candidate
+        return deadline
+
+    # -- eviction and teardown ------------------------------------------------
+
+    def _evict(self, entry: FlowEntry, now: int) -> None:
+        """Flush all of a victim's packets and drop its state (§4.3)."""
+        self.stats.record_eviction(entry.phase)
+        for node in entry.ofo.pop_all():
+            self._deliver_segment(node, FlushReason.EVICTION, now)
+        self.table.remove(entry)
+
+    def flush_all(self, now: int) -> None:
+        """Drain every flow (experiment teardown); the table empties."""
+        for entry in list(self.table):
+            for node in entry.ofo.pop_all():
+                self._deliver_segment(node, FlushReason.SHUTDOWN, now)
+            self.table.remove(entry)

@@ -1,0 +1,158 @@
+"""The per-flow out-of-order queue.
+
+The kernel patch keeps "a doubly-linked list that stores packets sorted in
+sequence number order" (§4.1).  We store *merged runs* (:class:`Segment`
+nodes) rather than raw packets: contiguous same-header packets collapse into
+one node, which is both what the frags[] merging produces and what keeps the
+queue short — the queue length is the number of discontiguous runs, not the
+number of buffered packets.
+
+Inserts scan from the tail because arrivals are nearly in order; the scan
+count is surfaced so the CPU model can charge it (§3.2's concern that
+"searching the queue ... [is] costly in terms of CPU").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.net.packet import Packet
+from repro.net.segment import Segment
+
+
+@dataclass
+class InsertResult:
+    """Outcome of one :meth:`OfoQueue.insert`."""
+
+    #: Nodes examined while locating the insert position.
+    scanned: int
+    #: True if the packet merged into an existing node (vs new node).
+    merged: bool
+    #: True if the packet's bytes were already present — caller should pass
+    #: the duplicate up for TCP's dupACK machinery rather than buffer it.
+    duplicate: bool
+
+
+class OfoQueue:
+    """Sorted, non-overlapping runs of buffered packets for one flow."""
+
+    __slots__ = ("nodes", "max_payload")
+
+    def __init__(self, max_payload: Optional[int] = None):
+        self.nodes: List[Segment] = []
+        self.max_payload = max_payload
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self.nodes)
+
+    def __bool__(self) -> bool:
+        return bool(self.nodes)
+
+    @property
+    def head(self) -> Optional[Segment]:
+        """The lowest-sequence run, or None when empty."""
+        return self.nodes[0] if self.nodes else None
+
+    @property
+    def buffered_packets(self) -> int:
+        """Total MTU packets currently buffered."""
+        return sum(node.mtus for node in self.nodes)
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Total payload bytes currently buffered."""
+        return sum(node.payload_len for node in self.nodes)
+
+    @property
+    def min_seq(self) -> Optional[int]:
+        """Lowest buffered sequence number."""
+        return self.nodes[0].seq if self.nodes else None
+
+    @property
+    def max_end_seq(self) -> Optional[int]:
+        """Highest buffered end-sequence number."""
+        return self.nodes[-1].end_seq if self.nodes else None
+
+    def insert(self, packet: Packet) -> InsertResult:
+        """Place ``packet`` into the queue, merging where possible.
+
+        Position lookup is a binary search (keeps the simulation fast); the
+        *reported* scan count models the kernel's doubly-linked list walked
+        from whichever end is closer — in-order arrivals touch the tail,
+        late stragglers re-enter near the head, so both common cases cost
+        O(1) rather than O(queue length).
+        """
+        nodes = self.nodes
+        # idx = number of nodes with node.seq <= packet.seq.
+        lo, hi = 0, len(nodes)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if nodes[mid].seq <= packet.seq:
+                lo = mid + 1
+            else:
+                hi = mid
+        idx = lo
+        scanned = min(len(nodes) - idx, idx + 1) if nodes else 0
+
+        pred = nodes[idx - 1] if idx > 0 else None
+        succ = nodes[idx] if idx < len(nodes) else None
+
+        if pred is not None and packet.seq < pred.end_seq:
+            # Overlaps existing buffered bytes: a duplicate/overlapping
+            # retransmission.  Never buffer it twice.
+            return InsertResult(scanned, merged=False, duplicate=True)
+        if succ is not None and packet.end_seq > succ.seq:
+            return InsertResult(scanned, merged=False, duplicate=True)
+
+        if pred is not None and pred.can_append(packet, self.max_payload):
+            pred.append(packet)
+            # Appending may have closed the gap to the successor.
+            if succ is not None and pred.can_extend(succ, self.max_payload):
+                pred.extend(succ)
+                nodes.pop(idx)
+            return InsertResult(scanned, merged=True, duplicate=False)
+
+        if succ is not None and succ.can_prepend(packet, self.max_payload):
+            succ.prepend(packet)
+            return InsertResult(scanned, merged=True, duplicate=False)
+
+        nodes.insert(idx, Segment([packet]))
+        return InsertResult(scanned, merged=False, duplicate=False)
+
+    def pop_head(self) -> Segment:
+        """Remove and return the lowest-sequence run."""
+        return self.nodes.pop(0)
+
+    def pop_all(self) -> List[Segment]:
+        """Drain the queue, returning runs in sequence order."""
+        drained = self.nodes
+        self.nodes = []
+        return drained
+
+    def pop_inseq_run(self, seq_next: int) -> List[Segment]:
+        """Pop the maximal chain of runs forming in-order data at ``seq_next``.
+
+        Returns the (possibly empty) list of runs whose bytes are contiguous
+        starting exactly at ``seq_next``.  Runs stay separate segments when
+        they could not merge (header mismatch) — they are still in-order.
+        """
+        popped: List[Segment] = []
+        expect = seq_next
+        while self.nodes and self.nodes[0].seq == expect:
+            node = self.nodes.pop(0)
+            popped.append(node)
+            expect = node.end_seq
+        return popped
+
+    def covers(self, seq: int) -> bool:
+        """True if byte ``seq`` is currently buffered."""
+        for node in self.nodes:
+            if node.seq <= seq < node.end_seq:
+                return True
+            if node.seq > seq:
+                return False
+        return False

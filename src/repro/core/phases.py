@@ -1,0 +1,58 @@
+"""The five phases in the lifetime of a flow (Table 1 / Figure 5).
+
+====================  =======================================================
+Phase                 Rationale (paper section)
+====================  =======================================================
+INITIAL               Packet seen for the first time, ``seq_next`` unknown
+                      (§4.2.1).  Transient — the entry immediately moves on.
+BUILD_UP              Learn an initial estimate of ``seq_next``, which may
+                      move *backwards* (§4.2.2, Remark 1).
+ACTIVE_MERGE          Merge and flush; ``seq_next`` only moves forward
+                      (§4.2.3).
+POST_MERGE            OOO queue drained; flow parked on the inactive list and
+                      safe to evict (§4.2.4).
+LOSS_RECOVERY         An ``ofo_timeout`` fired — a packet is presumed lost;
+                      evicting now would cause stalls, so the flow is
+                      protected until the hole is filled (§4.2.5).
+====================  =======================================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Phase(enum.Enum):
+    """Lifecycle phase of a flow entry; determines which list holds it."""
+
+    INITIAL = "initial"
+    BUILD_UP = "build_up"
+    ACTIVE_MERGE = "active_merge"
+    POST_MERGE = "post_merge"
+    LOSS_RECOVERY = "loss_recovery"
+
+    @property
+    def list_name(self) -> str:
+        """Which of the three gro_table lists flows in this phase live on."""
+        if self in (Phase.BUILD_UP, Phase.ACTIVE_MERGE):
+            return "active"
+        if self is Phase.POST_MERGE:
+            return "inactive"
+        if self is Phase.LOSS_RECOVERY:
+            return "loss_recovery"
+        return "none"  # INITIAL is transient, never stored
+
+    @property
+    def evictable_rank(self) -> int:
+        """Eviction preference: lower rank is evicted first (§4.3).
+
+        Post-merge flows have empty OOO queues and no holes — evicting them
+        is free.  Active flows may have holes; evicting them risks timeout
+        stalls on re-entry (Figure 8).  Loss-recovery flows are the worst
+        candidates because their future packets are *known* to have holes.
+        """
+        if self is Phase.POST_MERGE:
+            return 0
+        if self in (Phase.BUILD_UP, Phase.ACTIVE_MERGE):
+            return 1
+        return 2

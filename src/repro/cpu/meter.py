@@ -1,0 +1,45 @@
+"""Busy-time accumulation and utilisation windows."""
+
+from __future__ import annotations
+
+
+class CoreMeter:
+    """Accumulates nanoseconds of busy time for one core.
+
+    Utilisation is measured over explicit windows so experiments can discard
+    warm-up: call :meth:`mark` at the window start and
+    :meth:`utilization_since` at the end.
+    """
+
+    def __init__(self, name: str = "core"):
+        self.name = name
+        self._busy_ns = 0.0
+        self._mark_busy = 0.0
+        self._mark_time = 0
+
+    @property
+    def busy_ns(self) -> float:
+        """Total busy nanoseconds since construction."""
+        return self._busy_ns
+
+    def charge(self, ns: float) -> None:
+        """Add ``ns`` nanoseconds of work."""
+        if ns < 0:
+            raise ValueError(f"cannot charge negative work: {ns}")
+        self._busy_ns += ns
+
+    def mark(self, now: int) -> None:
+        """Start a measurement window at simulation time ``now``."""
+        self._mark_busy = self._busy_ns
+        self._mark_time = now
+
+    def utilization_since(self, now: int) -> float:
+        """Fraction of one core used since the last :meth:`mark`.
+
+        Can exceed 1.0 when the offered work outstrips a single core — the
+        saturation signal Figure 9 reports as a pegged application core.
+        """
+        elapsed = now - self._mark_time
+        if elapsed <= 0:
+            return 0.0
+        return (self._busy_ns - self._mark_busy) / elapsed

@@ -1,0 +1,12 @@
+"""Per-figure experiment implementations.
+
+Each module reproduces one table or figure from the paper's evaluation:
+``run(params)`` executes the (scaled-down) experiment and returns a result
+object; ``render(result)`` produces the text table the corresponding bench
+prints; running a module as a script does both.  The benchmark suite in
+``benchmarks/`` wraps these entry points with pytest-benchmark.
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

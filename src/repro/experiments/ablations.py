@@ -1,0 +1,169 @@
+"""Ablations of Juggler's design choices (DESIGN.md §5).
+
+1. **Build-up phase** (Remark 1): letting ``seq_next`` move backwards while
+   a (re-entering) flow's first polling interval completes.  The paper
+   measured ~6% fewer segments up the stack with the optimisation.
+2. **Eviction policy** (§4.3): inactive-first vs naive FIFO vs the
+   adversarial active-first inversion.  Evicting flows whose queues have
+   holes strands their peers waiting for timeouts (Figure 8).
+3. **gro_table size** (§5.2.2): how small can the table get before
+   forced evictions start hurting batching and reordering protection.
+
+All three run the same stress scenario: many concurrent flows through the
+NetFPGA reordering switch with a deliberately small table, so flows
+constantly leave and re-enter Juggler.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import JugglerConfig
+from repro.core.flush import FlushReason
+from repro.core.juggler import JugglerGRO
+from repro.fabric.topology import build_netfpga_pair
+from repro.harness.reporting import format_table
+from repro.nic.nic import NicConfig
+from repro.sim.engine import Engine
+from repro.sim.time import MS, US
+from repro.tcp.config import TcpConfig
+from repro.tcp.connection import Connection
+
+
+@dataclass(frozen=True)
+class AblationParams:
+    """Shared stress-scenario configuration."""
+
+    num_flows: int = 64
+    total_gbps: float = 10.0
+    reorder_delay_us: int = 250
+    inseq_timeout_us: int = 52
+    ofo_timeout_us: int = 400
+    table_capacity: int = 8
+    duration_ms: int = 30
+    seed: int = 77
+
+
+@dataclass
+class AblationPoint:
+    """One configuration's outcome."""
+
+    label: str
+    segments_per_packet: float
+    ooo_fraction: float
+    ofo_timeout_flushes: int
+    evictions: int
+    throughput_gbps: float
+
+
+def _run_stress(params: AblationParams, config: JugglerConfig) -> AblationPoint:
+    engine = Engine()
+    rng = random.Random(params.seed)
+    bed = build_netfpga_pair(
+        engine,
+        rng,
+        lambda deliver: JugglerGRO(deliver, config),
+        rate_gbps=params.total_gbps,
+        reorder_delay_ns=params.reorder_delay_us * US,
+        nic_config=NicConfig(num_queues=1, coalesce_frames=25),
+    )
+    per_flow = params.total_gbps / params.num_flows
+    burst_period_ns = max(1, round(64 * 1024 * 8 / per_flow))
+    tcp = TcpConfig(init_cwnd=1 << 17)
+    conns: List[Connection] = []
+    for i in range(params.num_flows):
+        conn = Connection(engine, bed.sender, bed.receiver, 5000 + i, 80,
+                          tcp, pacing_gbps=per_flow)
+        engine.schedule(rng.randrange(burst_period_ns), conn.send, 1 << 38)
+        conns.append(conn)
+    engine.run_until(params.duration_ms * MS)
+
+    stats = bed.receiver.gro_engines[0].stats
+    delivered = sum(c.delivered_bytes for c in conns)
+    return AblationPoint(
+        label="",
+        segments_per_packet=(stats.segments / stats.packets
+                             if stats.packets else 0.0),
+        ooo_fraction=stats.ooo_fraction,
+        ofo_timeout_flushes=stats.flush_reasons.get(FlushReason.OFO_TIMEOUT, 0),
+        evictions=stats.total_evictions,
+        throughput_gbps=delivered * 8 / (params.duration_ms * MS),
+    )
+
+
+def _config(params: AblationParams, *, enable_buildup: bool = True,
+            eviction_policy: str = "inactive_first",
+            capacity: Optional[int] = None) -> JugglerConfig:
+    return JugglerConfig(
+        inseq_timeout=params.inseq_timeout_us * US,
+        ofo_timeout=params.ofo_timeout_us * US,
+        table_capacity=capacity if capacity is not None
+        else params.table_capacity,
+        enable_buildup=enable_buildup,
+        eviction_policy=eviction_policy,
+    )
+
+
+def run_buildup_ablation(
+        params: AblationParams = AblationParams(reorder_delay_us=60),
+) -> List[AblationPoint]:
+    """With vs without the build-up phase.
+
+    Defaults to 60 µs reordering: the optimisation only pays off for
+    stragglers that arrive while the re-entering flow is still inside its
+    first polling interval, so delays much longer than a poll mask it.
+    """
+    points = []
+    for enabled in (True, False):
+        point = _run_stress(params, _config(params, enable_buildup=enabled))
+        point.label = "buildup=on" if enabled else "buildup=off"
+        points.append(point)
+    return points
+
+
+def run_eviction_ablation(
+        params: AblationParams = AblationParams()) -> List[AblationPoint]:
+    """The paper's eviction order vs naive FIFO vs adversarial inversion."""
+    points = []
+    for policy in ("inactive_first", "fifo", "active_first"):
+        point = _run_stress(params, _config(params, eviction_policy=policy))
+        point.label = f"evict={policy}"
+        points.append(point)
+    return points
+
+
+def run_table_size_ablation(
+        params: AblationParams = AblationParams(),
+        capacities: tuple = (2, 4, 8, 16, 64)) -> List[AblationPoint]:
+    """Sweeping gro_table capacity."""
+    points = []
+    for capacity in capacities:
+        point = _run_stress(params, _config(params, capacity=capacity))
+        point.label = f"capacity={capacity}"
+        points.append(point)
+    return points
+
+
+def render(points: List[AblationPoint]) -> str:
+    """Any ablation's rows."""
+    rows = [
+        (p.label, round(p.segments_per_packet, 4), round(p.ooo_fraction, 4),
+         p.ofo_timeout_flushes, p.evictions, round(p.throughput_gbps, 2))
+        for p in points
+    ]
+    return format_table(
+        ["config", "segs_per_pkt", "ooo_frac", "ofo_flushes", "evictions",
+         "throughput_gbps"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    print("Build-up phase ablation:")
+    print(render(run_buildup_ablation()))
+    print("\nEviction policy ablation:")
+    print(render(run_eviction_ablation()))
+    print("\nTable size ablation:")
+    print(render(run_table_size_ablation()))

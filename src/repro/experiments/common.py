@@ -1,0 +1,94 @@
+"""Helpers shared by the per-figure experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.base import GroEngine
+from repro.core.stats import GroStats
+from repro.cpu.accounting import GroCpuAccountant
+from repro.cpu.core import CpuCore
+from repro.cpu.costs import CostTable, DEFAULT_COSTS
+from repro.cpu.meter import CoreMeter
+from repro.fabric.host import Host
+from repro.sim.engine import Engine
+
+
+@dataclass
+class StatsSnapshot:
+    """A point-in-time copy of the counters a measurement window diffs."""
+
+    packets: int
+    segments: int
+    batched_mtus: int
+    ooo_segments: int
+
+    @classmethod
+    def of(cls, stats: GroStats) -> "StatsSnapshot":
+        """Capture the relevant counters."""
+        return cls(stats.packets, stats.segments, stats.batched_mtus,
+                   stats.ooo_segments)
+
+    def batching_since(self, stats: GroStats) -> float:
+        """Batching extent (MTUs/segment) accumulated since this snapshot."""
+        segments = stats.segments - self.segments
+        if segments <= 0:
+            return 0.0
+        return (stats.batched_mtus - self.batched_mtus) / segments
+
+    def segments_since(self, stats: GroStats) -> int:
+        """Segments delivered since this snapshot."""
+        return stats.segments - self.segments
+
+    def packets_since(self, stats: GroStats) -> int:
+        """Packets processed since this snapshot."""
+        return stats.packets - self.packets
+
+    def ooo_since(self, stats: GroStats) -> int:
+        """Out-of-order segments delivered since this snapshot."""
+        return stats.ooo_segments - self.ooo_segments
+
+
+def merged_stats(engines: List[GroEngine]) -> StatsSnapshot:
+    """Sum the counters of several per-queue engines."""
+    return StatsSnapshot(
+        sum(e.stats.packets for e in engines),
+        sum(e.stats.segments for e in engines),
+        sum(e.stats.batched_mtus for e in engines),
+        sum(e.stats.ooo_segments for e in engines),
+    )
+
+
+class HostCpu:
+    """RX-core accountant + application core for one measured host."""
+
+    def __init__(self, engine: Engine, costs: CostTable = DEFAULT_COSTS,
+                 name: str = "host"):
+        self.rx_meter = CoreMeter(f"{name}.rx")
+        self.accountant = GroCpuAccountant(self.rx_meter, costs)
+        self.app_core = CpuCore(engine, f"{name}.app")
+
+    def attach(self, host: Host) -> None:
+        """Couple the app core to the host's TCP endpoints."""
+        host.app_core = self.app_core
+
+    def mark(self, now: int) -> None:
+        """Open a measurement window on both cores."""
+        self.rx_meter.mark(now)
+        self.app_core.meter.mark(now)
+
+    def rx_utilization(self, now: int) -> float:
+        """RX-core busy fraction since :meth:`mark`."""
+        return self.rx_meter.utilization_since(now)
+
+    def app_utilization(self, now: int) -> float:
+        """App-core busy fraction since :meth:`mark` (may exceed 1.0)."""
+        return self.app_core.meter.utilization_since(now)
+
+
+def gbps(nbytes: int, window_ns: int) -> float:
+    """Convert a byte count over a window into Gb/s."""
+    if window_ns <= 0:
+        return 0.0
+    return nbytes * 8 / window_ns

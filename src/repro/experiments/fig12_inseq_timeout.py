@@ -1,0 +1,150 @@
+"""Figure 12: batching efficiency and CPU vs ``inseq_timeout``.
+
+Setup (§5.2.1, Figure 11 testbed): one TCP flow at 10 Gb/s line rate through
+the NetFPGA switch, reordering delay τ ∈ {250, 500, 750} µs.  Sweep
+``inseq_timeout`` and measure the batching extent (average MTUs per
+delivered segment) and RX-core usage.
+
+Paper result: batching improves with ``inseq_timeout`` up to ≈52 µs — the
+time to receive one maximum-size 64 KB segment at 10 Gb/s — and flattens
+beyond, regardless of how much reordering the network adds.  CPU usage falls
+as batching rises.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.config import JugglerConfig
+from repro.core.juggler import JugglerGRO
+from repro.experiments.common import HostCpu, StatsSnapshot, merged_stats
+from repro.fabric.topology import build_netfpga_pair
+from repro.harness.reporting import format_table
+from repro.nic.nic import NicConfig
+from repro.sim.engine import Engine
+from repro.sim.time import MS, US
+from repro.tcp.config import TcpConfig
+from repro.tcp.connection import Connection
+
+
+@dataclass(frozen=True)
+class Fig12Params:
+    """Sweep configuration (defaults scaled for CI; dimensionless knobs —
+    timeout/τ ratios, line rate — match the paper)."""
+
+    inseq_timeouts_us: tuple = (0, 10, 20, 30, 40, 52, 65, 80, 100)
+    reorder_delays_us: tuple = (250, 500, 750)
+    rate_gbps: float = 10.0
+    ofo_timeout_us: int = 1000  # large, to isolate the inseq knob
+    #: Frames-or-time interrupt coalescing: 25 frames sets the NAPI poll
+    #: cadence at line rate, giving the paper's ~25-MTU batching floor at
+    #: inseq_timeout = 0.
+    coalesce_frames: int = 25
+    warmup_ms: int = 8
+    measure_ms: int = 15
+    seed: int = 12
+
+
+@dataclass
+class Fig12Point:
+    """One sweep cell."""
+
+    reorder_delay_us: int
+    inseq_timeout_us: int
+    batching_extent: float
+    rx_core_pct: float
+    app_core_pct: float
+    throughput_gbps: float
+
+
+@dataclass
+class Fig12Result:
+    """All cells, ordered by (τ, inseq_timeout)."""
+
+    points: List[Fig12Point] = field(default_factory=list)
+
+    def series(self, reorder_delay_us: int) -> List[Fig12Point]:
+        """One curve of the figure."""
+        return [p for p in self.points
+                if p.reorder_delay_us == reorder_delay_us]
+
+
+def run_cell(params: Fig12Params, reorder_us: int, inseq_us: int) -> Fig12Point:
+    """One (τ, inseq_timeout) measurement."""
+    engine = Engine()
+    rng = random.Random(params.seed)
+    cpu = HostCpu(engine)
+    config = JugglerConfig(
+        inseq_timeout=inseq_us * US,
+        ofo_timeout=params.ofo_timeout_us * US,
+    )
+    bed = build_netfpga_pair(
+        engine,
+        rng,
+        lambda deliver: JugglerGRO(deliver, config, cpu.accountant),
+        rate_gbps=params.rate_gbps,
+        reorder_delay_ns=reorder_us * US,
+        nic_config=NicConfig(coalesce_frames=params.coalesce_frames),
+    )
+    cpu.attach(bed.receiver)
+    # Large initial window and receive buffer: the paper measures long
+    # steady-state flows, so we skip most of slow start.
+    tcp = TcpConfig(init_cwnd=1 << 20, rx_buffer=8 << 20)
+    conn = Connection(engine, bed.sender, bed.receiver, 1000, 80, tcp)
+    conn.send(1 << 40)
+
+    engine.run_until(params.warmup_ms * MS)
+    engines = bed.receiver.gro_engines
+    before = merged_stats(engines)
+    bytes_before = conn.delivered_bytes
+    cpu.mark(engine.now)
+
+    end = (params.warmup_ms + params.measure_ms) * MS
+    engine.run_until(end)
+    after = merged_stats(engines)
+    window = params.measure_ms * MS
+    return Fig12Point(
+        reorder_delay_us=reorder_us,
+        inseq_timeout_us=inseq_us,
+        batching_extent=_batching(before, after),
+        rx_core_pct=100.0 * cpu.rx_utilization(engine.now),
+        app_core_pct=100.0 * cpu.app_utilization(engine.now),
+        throughput_gbps=(conn.delivered_bytes - bytes_before) * 8 / window,
+    )
+
+
+def _batching(before: StatsSnapshot, after: StatsSnapshot) -> float:
+    segments = after.segments - before.segments
+    if segments <= 0:
+        return 0.0
+    return (after.batched_mtus - before.batched_mtus) / segments
+
+
+def run(params: Fig12Params = Fig12Params()) -> Fig12Result:
+    """Full sweep."""
+    result = Fig12Result()
+    for reorder_us in params.reorder_delays_us:
+        for inseq_us in params.inseq_timeouts_us:
+            result.points.append(run_cell(params, reorder_us, inseq_us))
+    return result
+
+
+def render(result: Fig12Result) -> str:
+    """The figure's two panels as one table."""
+    rows = [
+        (p.reorder_delay_us, p.inseq_timeout_us,
+         round(p.batching_extent, 2), round(p.rx_core_pct, 1),
+         round(p.app_core_pct, 1), round(p.throughput_gbps, 2))
+        for p in result.points
+    ]
+    return format_table(
+        ["reorder_us", "inseq_timeout_us", "batching_extent_mtus",
+         "rx_core_pct", "app_core_pct", "throughput_gbps"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,133 @@
+"""Figure 13: single-flow throughput vs ``ofo_timeout``.
+
+Setup (§5.2.1): one TCP flow at 10 Gb/s through the NetFPGA switch with
+reordering delay τ ∈ {250, 500, 750} µs; sweep ``ofo_timeout``.
+
+Paper result: the flow loses throughput whenever ``ofo_timeout`` is not at
+least comparable to the reordering the network adds — a too-small timeout
+flushes genuine out-of-order packets up to TCP, which answers with duplicate
+ACKs and spurious fast retransmits.  The knee sits near τ − τ₀, where τ₀ is
+the interrupt-coalescing period (125 µs): packets delayed less than the
+coalescing window get re-ordered "for free" inside the ring buffer, because
+the hole and its filler are processed in the same poll.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.config import JugglerConfig
+from repro.core.juggler import JugglerGRO
+from repro.fabric.topology import build_netfpga_pair
+from repro.harness.reporting import format_table
+from repro.nic.nic import NicConfig
+from repro.sim.engine import Engine
+from repro.sim.time import MS, US
+from repro.tcp.config import TcpConfig
+from repro.tcp.connection import Connection
+
+
+@dataclass(frozen=True)
+class Fig13Params:
+    """Sweep configuration."""
+
+    ofo_timeouts_us: tuple = (50, 100, 200, 300, 400, 500, 600, 700, 800, 1000)
+    reorder_delays_us: tuple = (250, 500, 750)
+    rate_gbps: float = 10.0
+    inseq_timeout_us: int = 52
+    #: Time-only interrupt coalescing, the paper's τ₀ = 125 µs.
+    coalesce_us: int = 125
+    warmup_ms: int = 8
+    measure_ms: int = 15
+    seed: int = 13
+
+
+@dataclass
+class Fig13Point:
+    """One sweep cell."""
+
+    reorder_delay_us: int
+    ofo_timeout_us: int
+    throughput_gbps: float
+    fast_retransmits: int
+    ofo_flushes: int
+
+
+@dataclass
+class Fig13Result:
+    """All cells."""
+
+    points: List[Fig13Point] = field(default_factory=list)
+
+    def series(self, reorder_delay_us: int) -> List[Fig13Point]:
+        """One panel of the figure."""
+        return [p for p in self.points
+                if p.reorder_delay_us == reorder_delay_us]
+
+
+def run_cell(params: Fig13Params, reorder_us: int, ofo_us: int) -> Fig13Point:
+    """One (τ, ofo_timeout) measurement."""
+    engine = Engine()
+    rng = random.Random(params.seed)
+    config = JugglerConfig(
+        inseq_timeout=params.inseq_timeout_us * US,
+        ofo_timeout=ofo_us * US,
+    )
+    bed = build_netfpga_pair(
+        engine,
+        rng,
+        lambda deliver: JugglerGRO(deliver, config),
+        rate_gbps=params.rate_gbps,
+        reorder_delay_ns=reorder_us * US,
+        nic_config=NicConfig(coalesce_ns=params.coalesce_us * US),
+    )
+    tcp = TcpConfig(init_cwnd=1 << 20, rx_buffer=8 << 20)
+    conn = Connection(engine, bed.sender, bed.receiver, 1000, 80, tcp)
+    conn.send(1 << 40)
+
+    engine.run_until(params.warmup_ms * MS)
+    bytes_before = conn.delivered_bytes
+    retx_before = conn.sender.fast_retransmits
+    end = (params.warmup_ms + params.measure_ms) * MS
+    engine.run_until(end)
+
+    gro_stats = bed.receiver.gro_engines[0].stats
+    from repro.core.flush import FlushReason
+
+    return Fig13Point(
+        reorder_delay_us=reorder_us,
+        ofo_timeout_us=ofo_us,
+        throughput_gbps=(conn.delivered_bytes - bytes_before) * 8
+        / (params.measure_ms * MS),
+        fast_retransmits=conn.sender.fast_retransmits - retx_before,
+        ofo_flushes=gro_stats.flush_reasons.get(FlushReason.OFO_TIMEOUT, 0),
+    )
+
+
+def run(params: Fig13Params = Fig13Params()) -> Fig13Result:
+    """Full sweep."""
+    result = Fig13Result()
+    for reorder_us in params.reorder_delays_us:
+        for ofo_us in params.ofo_timeouts_us:
+            result.points.append(run_cell(params, reorder_us, ofo_us))
+    return result
+
+
+def render(result: Fig13Result) -> str:
+    """The figure's three panels as one table."""
+    rows = [
+        (p.reorder_delay_us, p.ofo_timeout_us,
+         round(p.throughput_gbps, 2), p.fast_retransmits, p.ofo_flushes)
+        for p in result.points
+    ]
+    return format_table(
+        ["reorder_us", "ofo_timeout_us", "throughput_gbps",
+         "fast_retransmits", "ofo_flushes"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,140 @@
+"""Figure 15: how many flows Juggler actually needs to track.
+
+Setup (§5.2.2, NetFPGA testbed): N concurrent flows totalling 10 Gb/s into
+4 RX queues, reordering fixed at 250 µs – 1 ms; sample the number of active
+flows (build-up + active-merging lists) and report the 99th percentile.
+
+Paper result: the active count grows slowly with concurrency and reordering,
+peaks below ~35, and *drops* past 256 concurrent flows because low-rate
+flows send single-MTU TSO bursts that reordering cannot split.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.config import JugglerConfig
+from repro.core.juggler import JugglerGRO
+from repro.fabric.topology import build_netfpga_pair
+from repro.harness.metrics import Sampler, percentile
+from repro.harness.reporting import format_table
+from repro.nic.nic import NicConfig
+from repro.sim.engine import Engine
+from repro.sim.time import MS, US
+from repro.tcp.config import TcpConfig
+from repro.tcp.connection import Connection
+
+
+@dataclass(frozen=True)
+class Fig15Params:
+    """Sweep configuration."""
+
+    concurrent_flows: tuple = (64, 128, 256, 512, 1024)
+    reorder_delays_us: tuple = (250, 500, 750, 1000)
+    total_gbps: float = 10.0
+    num_rx_queues: int = 4
+    inseq_timeout_us: int = 52
+    #: Large table so the *demand* is observable without eviction clipping.
+    table_capacity: int = 4096
+    sample_interval_us: int = 50
+    warmup_ms: int = 5
+    measure_ms: int = 25
+    seed: int = 15
+
+
+@dataclass
+class Fig15Point:
+    """One sweep cell."""
+
+    concurrent_flows: int
+    reorder_delay_us: int
+    p99_active_flows: float
+    mean_active_flows: float
+    max_active_flows: int
+
+
+@dataclass
+class Fig15Result:
+    """All cells."""
+
+    points: List[Fig15Point] = field(default_factory=list)
+
+    def series(self, reorder_delay_us: int) -> List[Fig15Point]:
+        """One curve of the figure."""
+        return [p for p in self.points
+                if p.reorder_delay_us == reorder_delay_us]
+
+
+def run_cell(params: Fig15Params, nflows: int, reorder_us: int) -> Fig15Point:
+    """One (N, τ) measurement."""
+    engine = Engine()
+    rng = random.Random(params.seed)
+    config = JugglerConfig(
+        inseq_timeout=params.inseq_timeout_us * US,
+        ofo_timeout=max(2 * reorder_us, 100) * US,
+        table_capacity=params.table_capacity,
+    )
+    bed = build_netfpga_pair(
+        engine,
+        rng,
+        lambda deliver: JugglerGRO(deliver, config),
+        rate_gbps=params.total_gbps,
+        reorder_delay_ns=reorder_us * US,
+        nic_config=NicConfig(num_queues=params.num_rx_queues,
+                             coalesce_frames=25),
+    )
+    per_flow = params.total_gbps / nflows
+    burst_period_ns = max(1, round(64 * 1024 * 8 / per_flow))
+    tcp = TcpConfig(init_cwnd=1 << 18)
+    for i in range(nflows):
+        conn = Connection(engine, bed.sender, bed.receiver,
+                          5000 + i, 80, tcp, pacing_gbps=per_flow)
+        engine.schedule(rng.randrange(burst_period_ns), conn.send, 1 << 40)
+
+    def probe() -> float:
+        return sum(
+            q.gro.active_list_len for q in bed.receiver.nic.queues
+        )
+
+    sampler = Sampler(engine, probe, params.sample_interval_us * US)
+    engine.schedule(params.warmup_ms * MS, sampler.start)
+    engine.run_until((params.warmup_ms + params.measure_ms) * MS)
+
+    values = sampler.values()
+    return Fig15Point(
+        concurrent_flows=nflows,
+        reorder_delay_us=reorder_us,
+        p99_active_flows=percentile(values, 99),
+        mean_active_flows=sum(values) / len(values) if values else 0.0,
+        max_active_flows=int(max(values)) if values else 0,
+    )
+
+
+def run(params: Fig15Params = Fig15Params()) -> Fig15Result:
+    """Full sweep."""
+    result = Fig15Result()
+    for reorder_us in params.reorder_delays_us:
+        for nflows in params.concurrent_flows:
+            result.points.append(run_cell(params, nflows, reorder_us))
+    return result
+
+
+def render(result: Fig15Result) -> str:
+    """The figure's curves as one table."""
+    rows = [
+        (p.reorder_delay_us, p.concurrent_flows,
+         round(p.p99_active_flows, 1), round(p.mean_active_flows, 2),
+         p.max_active_flows)
+        for p in result.points
+    ]
+    return format_table(
+        ["reorder_us", "concurrent_flows", "p99_active", "mean_active",
+         "max_active"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

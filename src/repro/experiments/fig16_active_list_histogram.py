@@ -1,0 +1,168 @@
+"""Figure 16: active-list length statistics under the realistic Clos
+workload, plus the loss-recovery list.
+
+Setup (§5.2.2): the Figure 10 scenario — 256 flows at 20 Gb/s aggregate into
+one RX queue on the two-stage Clos with 50%-loaded uplinks and per-packet
+load balancing; the active-list length is sampled periodically.  Run twice:
+with a 40 Gb/s receiver port and a 10 Gb/s one.
+
+Paper results: at 40 Gb/s the average length is below 1 and the 99th
+percentile below 5; at 10 Gb/s TSO segments spend 3× longer on the wire so
+the list is somewhat longer, but p99 stays below 6.  The loss-recovery list
+is almost always empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.config import JugglerConfig
+from repro.experiments.common import HostCpu
+from repro.fabric.link import QueuedLink
+from repro.fabric.routing import PerPacketRouting
+from repro.fabric.topology import build_clos
+from repro.harness.experiment import GroKind, make_gro_factory
+from repro.harness.metrics import Histogram, Sampler, percentile
+from repro.harness.reporting import format_table
+from repro.nic.nic import NicConfig
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.time import MS, US
+from repro.tcp.config import TcpConfig
+from repro.tcp.connection import Connection
+from repro.workloads.background import DiscardSink, PoissonPacketSource
+
+
+@dataclass(frozen=True)
+class Fig16Params:
+    """Experiment configuration."""
+
+    num_flows: int = 256
+    target_gbps: float = 20.0
+    fabric_gbps: float = 40.0
+    background_gbps: float = 20.0
+    inseq_timeout_us: int = 13
+    ofo_timeout_us: int = 100
+    sample_interval_us: int = 100
+    warmup_ms: int = 8
+    measure_ms: int = 20
+    seed: int = 16
+
+
+@dataclass
+class Fig16Point:
+    """One panel (one receiver port speed)."""
+
+    receiver_port_gbps: float
+    mean_active: float
+    p99_active: float
+    max_active: int
+    fraction_at_most_5: float
+    mean_loss_recovery: float
+    max_loss_recovery: int
+
+
+def run_panel(params: Fig16Params, receiver_port_gbps: float) -> Fig16Point:
+    """One receiver-port-speed measurement."""
+    engine = Engine()
+    rngs = RngRegistry(params.seed)
+    cpu = HostCpu(engine)
+    config = JugglerConfig(
+        inseq_timeout=params.inseq_timeout_us * US,
+        ofo_timeout=params.ofo_timeout_us * US,
+    )
+    gro_factory = make_gro_factory(GroKind.JUGGLER, config, cpu.accountant)
+    net = build_clos(
+        engine,
+        gro_factory,
+        lambda: PerPacketRouting(rngs.stream("spray")),
+        n_tors=2,
+        hosts_per_tor=8,
+        n_spines=2,
+        host_rate_gbps=params.fabric_gbps,
+        uplink_rate_gbps=params.fabric_gbps,
+        nic_config=NicConfig(num_queues=1, coalesce_frames=32),
+    )
+    senders = net.hosts[:8]
+    receiver = net.hosts[8]
+    sink_host = net.hosts[9]
+    cpu.attach(receiver)
+    # Narrow the receiver's access port when reproducing the 10G panel;
+    # target throughput is capped to fit through it.
+    target = min(params.target_gbps, receiver_port_gbps * 0.8)
+    net.tors[1].add_route(
+        receiver.host_id,
+        QueuedLink(engine, receiver_port_gbps, receiver, name="rx-port"),
+    )
+
+    per_flow = target / params.num_flows
+    burst_period_ns = max(1, round(64 * 1024 * 8 / per_flow))
+    start_rng = rngs.stream("flow-start")
+    tcp = TcpConfig(init_cwnd=1 << 18)
+    for i in range(params.num_flows):
+        conn = Connection(engine, senders[i % 8], receiver,
+                          7000 + i, 80, tcp, pacing_gbps=per_flow)
+        engine.schedule(start_rng.randrange(burst_period_ns),
+                        conn.send, 1 << 40)
+
+    discard = DiscardSink()
+    bg_dst = sink_host.host_id + 1_000_000
+    net.tors[1].add_route(
+        bg_dst, QueuedLink(engine, params.fabric_gbps, discard, name="bg"))
+    for s, spine in enumerate(net.spines):
+        spine.add_route(bg_dst, net.downlinks[s][1])
+    background = PoissonPacketSource(
+        engine, rngs.stream("background"), net.tors[0],
+        load_gbps=params.background_gbps, src=99, dst=bg_dst)
+    background.start()
+
+    gro = receiver.gro_engines[0]
+    active_hist = Histogram()
+    loss_samples: List[float] = []
+
+    def probe() -> float:
+        active_hist.add(gro.active_list_len)
+        loss_samples.append(gro.loss_recovery_list_len)
+        return gro.active_list_len
+
+    sampler = Sampler(engine, probe, params.sample_interval_us * US)
+    engine.schedule(params.warmup_ms * MS, sampler.start)
+    engine.run_until((params.warmup_ms + params.measure_ms) * MS)
+
+    values = sampler.values()
+    return Fig16Point(
+        receiver_port_gbps=receiver_port_gbps,
+        mean_active=sum(values) / len(values) if values else 0.0,
+        p99_active=percentile(values, 99),
+        max_active=int(max(values)) if values else 0,
+        fraction_at_most_5=active_hist.fraction_at_most(5),
+        mean_loss_recovery=(sum(loss_samples) / len(loss_samples)
+                            if loss_samples else 0.0),
+        max_loss_recovery=int(max(loss_samples)) if loss_samples else 0,
+    )
+
+
+def run(params: Fig16Params = Fig16Params()) -> List[Fig16Point]:
+    """Both panels: 40 Gb/s and 10 Gb/s receiver ports."""
+    return [run_panel(params, 40.0), run_panel(params, 10.0)]
+
+
+def render(points: List[Fig16Point]) -> str:
+    """Both panels as one table."""
+    rows = [
+        (f"{p.receiver_port_gbps:g}G", round(p.mean_active, 2),
+         round(p.p99_active, 1), p.max_active,
+         round(p.fraction_at_most_5, 4),
+         round(p.mean_loss_recovery, 3), p.max_loss_recovery)
+        for p in points
+    ]
+    return format_table(
+        ["rx_port", "mean_active", "p99_active", "max_active",
+         "frac_active<=5", "mean_loss_list", "max_loss_list"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,165 @@
+"""Figure 18: achieved vs guaranteed bandwidth, sweeping the guarantee.
+
+Setup (§5.3.1 / Figure 17): one target flow with guarantee B against 7
+unconstrained antagonist flows across a 40 Gb/s two-priority bottleneck;
+α = 0.1; B swept from 5 to 30 Gb/s; 30-run averages in the paper.
+
+Paper results:
+
+* with Juggler the achieved bandwidth tracks B closely until the receiver
+  hits the CPU limit of a single core (~25 Gb/s in their testbed);
+* the vanilla kernel lands far below the guarantee, with high variance;
+* the target flow never drops below its ~5 Gb/s fair share even when B is
+  smaller, because at p = 0 it is just another TCP flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.config import JugglerConfig
+from repro.experiments.common import HostCpu
+from repro.fabric.topology import build_priority_dumbbell
+from repro.harness.experiment import GroKind, make_gro_factory
+from repro.harness.metrics import Sampler, ThroughputProbe, mean
+from repro.harness.reporting import format_table
+from repro.nic.nic import NicConfig
+from repro.qos.bandwidth_guarantee import BandwidthGuaranteeController
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.time import MS, US
+from repro.tcp.config import TcpConfig
+from repro.tcp.connection import Connection
+
+
+@dataclass(frozen=True)
+class Fig18Params:
+    """Sweep configuration."""
+
+    guarantees_gbps: tuple = (5.0, 10.0, 15.0, 20.0, 25.0, 30.0)
+    line_rate_gbps: float = 40.0
+    alpha: float = 0.1
+    inseq_timeout_us: int = 13
+    ofo_timeout_us: int = 200
+    ramp_ms: int = 30
+    measure_ms: int = 40
+    sample_ms: int = 5
+    #: Model the receiver's per-core CPU limit (the paper's ~25 Gb/s knee).
+    model_cpu_limit: bool = True
+    seed: int = 18
+
+
+@dataclass
+class Fig18Point:
+    """One (kernel, guarantee) cell."""
+
+    kind: GroKind
+    guarantee_gbps: float
+    achieved_gbps: float
+    stdev_gbps: float
+    app_core_pct: float
+
+
+@dataclass
+class Fig18Result:
+    """All cells."""
+
+    points: List[Fig18Point] = field(default_factory=list)
+
+    def series(self, kind: GroKind) -> List[Fig18Point]:
+        """One curve of the figure."""
+        return [p for p in self.points if p.kind is kind]
+
+
+def run_cell(params: Fig18Params, kind: GroKind,
+             guarantee_gbps: float) -> Fig18Point:
+    """One kernel × guarantee measurement."""
+    engine = Engine()
+    rngs = RngRegistry(params.seed)
+    cpu = HostCpu(engine)
+    config = JugglerConfig(
+        inseq_timeout=params.inseq_timeout_us * US,
+        ofo_timeout=params.ofo_timeout_us * US,
+    )
+    bed = build_priority_dumbbell(
+        engine,
+        make_gro_factory(kind, config, cpu.accountant),
+        n_senders=2,
+        n_receivers=2,
+        host_rate_gbps=params.line_rate_gbps,
+        bottleneck_gbps=params.line_rate_gbps,
+        nic_config=NicConfig(num_queues=1, coalesce_ns=30_000,
+                             coalesce_frames=32),
+    )
+    if params.model_cpu_limit:
+        cpu.attach(bed.receivers[0])
+
+    tcp = TcpConfig(rx_buffer=8 << 20)
+    target = Connection(engine, bed.senders[0], bed.receivers[0], 4000, 80, tcp)
+    controller = BandwidthGuaranteeController(
+        engine,
+        target.sender,
+        rngs.stream("marking"),
+        target_gbps=guarantee_gbps,
+        line_rate_gbps=params.line_rate_gbps,
+        alpha=params.alpha,
+    )
+    target.sender.priority_fn = controller.priority_fn
+    target.send(1 << 42)
+    for i in range(7):
+        conn = Connection(engine, bed.senders[1], bed.receivers[1],
+                          4100 + i, 80, tcp)
+        conn.send(1 << 42)
+
+    controller.start()
+    engine.run_until(params.ramp_ms * MS)
+    probe = Sampler(
+        engine,
+        ThroughputProbe(lambda: target.delivered_bytes, params.sample_ms * MS),
+        params.sample_ms * MS,
+    )
+    probe.start()
+    cpu.mark(engine.now)
+    engine.run_until((params.ramp_ms + params.measure_ms) * MS)
+
+    values = probe.values()
+    mu = mean(values)
+    stdev = (
+        (sum((v - mu) ** 2 for v in values) / (len(values) - 1)) ** 0.5
+        if len(values) > 1 else 0.0
+    )
+    return Fig18Point(
+        kind=kind,
+        guarantee_gbps=guarantee_gbps,
+        achieved_gbps=mu,
+        stdev_gbps=stdev,
+        app_core_pct=100.0 * cpu.app_utilization(engine.now),
+    )
+
+
+def run(params: Fig18Params = Fig18Params()) -> Fig18Result:
+    """Both kernels across the guarantee sweep."""
+    result = Fig18Result()
+    for kind in (GroKind.JUGGLER, GroKind.VANILLA):
+        for guarantee in params.guarantees_gbps:
+            result.points.append(run_cell(params, kind, guarantee))
+    return result
+
+
+def render(result: Fig18Result) -> str:
+    """The figure's two curves as one table."""
+    rows = [
+        (p.kind.value, p.guarantee_gbps, round(p.achieved_gbps, 2),
+         round(p.stdev_gbps, 2), round(min(p.app_core_pct, 100.0), 1))
+        for p in result.points
+    ]
+    return format_table(
+        ["kernel", "guarantee_gbps", "achieved_gbps", "stdev",
+         "app_core_pct"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,213 @@
+"""Figure 20: RPC tail latency under three load-balancing granularities.
+
+Setup (§5.3.2 / Figure 19): 8 servers under ToR A send to 8 clients under
+ToR B over a 40 Gb/s two-stage Clos with two spine uplinks.  Four pairs run
+all-to-all 1 MB RPCs, four pairs all-to-all 150 B RPCs; open-loop Poisson
+arrivals; load swept as a fraction of the 80 Gb/s uplink capacity; RPCs are
+multiplexed over long-lived sessions per pair.  Receivers run Juggler.
+
+Paper results: past 50% load, per-packet spraying beats per-flow ECMP on
+small-RPC 99th-percentile completion time by ≥2×, and beats per-TSO
+(Presto-style) spraying by a growing margin (30 µs at 75%, 250 µs at 90%);
+large-RPC tails order the same way.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.config import JugglerConfig
+from repro.fabric.routing import EcmpRouting, PerPacketRouting, PerTsoRouting
+from repro.fabric.topology import build_clos
+from repro.harness.experiment import GroKind, make_gro_factory
+from repro.harness.metrics import percentile
+from repro.harness.reporting import format_table
+from repro.nic.nic import NicConfig
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.time import MS, US
+from repro.tcp.config import TcpConfig
+from repro.tcp.connection import Connection
+from repro.workloads.rpc import RpcWorkload
+
+
+class LbPolicy(enum.Enum):
+    """The load-balancing granularities compared in Figure 20, plus
+    CONGA-style flowlet switching (§2.2's related-work alternative, not in
+    the paper's figure — included as an extension point of comparison)."""
+
+    ECMP = "per-flow-ecmp"
+    PER_TSO = "per-tso"
+    PER_PACKET = "per-packet"
+    FLOWLET = "flowlet"
+
+
+@dataclass(frozen=True)
+class Fig20Params:
+    """Sweep configuration (scaled down: fewer sessions per pair, shorter
+    runs; load fractions and RPC sizes match the paper)."""
+
+    loads_pct: tuple = (25, 50, 75, 90)
+    policies: tuple = (LbPolicy.ECMP, LbPolicy.PER_TSO, LbPolicy.PER_PACKET)
+    large_rpc_bytes: int = 1_000_000
+    small_rpc_bytes: int = 150
+    large_pairs: int = 4
+    small_pairs: int = 4
+    sessions_per_pair: int = 2
+    #: Aggregate small-RPC load (the paper: 100 Mb/s per server).
+    small_load_gbps: float = 0.4
+    fabric_gbps: float = 40.0
+    n_spines: int = 2
+    inseq_timeout_us: int = 13
+    ofo_timeout_us: int = 150
+    #: DCTCP marking threshold (None = tail-drop only, the paper's testbed
+    #: transport regime; deep queues amplify the policy differences).
+    ecn_threshold_kb: int | None = None
+    queue_capacity_kb: int = 2048
+    warmup_ms: int = 6
+    measure_ms: int = 25
+    seed: int = 20
+
+
+@dataclass
+class Fig20Point:
+    """One (policy, load) cell."""
+
+    policy: LbPolicy
+    load_pct: int
+    large_p99_ms: float
+    large_p50_ms: float
+    small_p99_us: float
+    small_p50_us: float
+    large_rpcs: int
+    small_rpcs: int
+
+
+@dataclass
+class Fig20Result:
+    """All cells."""
+
+    points: List[Fig20Point] = field(default_factory=list)
+
+    def series(self, policy: LbPolicy) -> List[Fig20Point]:
+        """One curve of each panel."""
+        return [p for p in self.points if p.policy is policy]
+
+
+def _policy_factory(policy: LbPolicy, rngs: RngRegistry):
+    if policy is LbPolicy.ECMP:
+        return lambda: EcmpRouting()
+    if policy is LbPolicy.PER_TSO:
+        return lambda: PerTsoRouting()
+    if policy is LbPolicy.FLOWLET:
+        from repro.fabric.routing import FlowletRouting
+
+        return lambda: FlowletRouting(rngs.stream("flowlet"),
+                                      flowlet_gap_ns=100_000)
+    return lambda: PerPacketRouting(rngs.stream("spray"))
+
+
+def run_cell(params: Fig20Params, policy: LbPolicy, load_pct: int) -> Fig20Point:
+    """One (policy, load) measurement."""
+    engine = Engine()
+    rngs = RngRegistry(params.seed)
+    config = JugglerConfig(
+        inseq_timeout=params.inseq_timeout_us * US,
+        ofo_timeout=params.ofo_timeout_us * US,
+    )
+    net = build_clos(
+        engine,
+        make_gro_factory(GroKind.JUGGLER, config),
+        _policy_factory(policy, rngs),
+        n_tors=2,
+        hosts_per_tor=8,
+        n_spines=params.n_spines,
+        host_rate_gbps=params.fabric_gbps,
+        uplink_rate_gbps=params.fabric_gbps,
+        nic_config=NicConfig(num_queues=1, coalesce_ns=30_000,
+                             coalesce_frames=32),
+        queue_capacity_bytes=params.queue_capacity_kb * 1024,
+        ecn_threshold_bytes=(params.ecn_threshold_kb * 1024
+                             if params.ecn_threshold_kb is not None else None),
+    )
+    servers = net.hosts[:8]
+    clients = net.hosts[8:]
+
+    uplink_capacity = params.n_spines * params.fabric_gbps
+    total_load = uplink_capacity * load_pct / 100.0
+    large_load = max(total_load - params.small_load_gbps, 0.1)
+    tcp = TcpConfig(rx_buffer=4 << 20)
+
+    def all_to_all(kind_servers, kind_clients, base_port):
+        conns = []
+        for si, server in enumerate(kind_servers):
+            for ci, client in enumerate(kind_clients):
+                for s in range(params.sessions_per_pair):
+                    conns.append(Connection(
+                        engine, server, client,
+                        base_port + (si * 16 + ci) * 8 + s, 80, tcp))
+        return conns
+
+    large_conns = all_to_all(servers[:params.large_pairs],
+                             clients[:params.large_pairs], 30_000)
+    small_conns = all_to_all(servers[params.large_pairs:
+                                     params.large_pairs + params.small_pairs],
+                             clients[params.large_pairs:
+                                     params.large_pairs + params.small_pairs],
+                             40_000)
+
+    large = RpcWorkload(engine, rngs.stream("large"), large_conns,
+                        rpc_bytes=params.large_rpc_bytes,
+                        load_gbps=large_load)
+    small = RpcWorkload(engine, rngs.stream("small"), small_conns,
+                        rpc_bytes=params.small_rpc_bytes,
+                        load_gbps=params.small_load_gbps)
+    large.start()
+    small.start()
+
+    engine.run_until(params.warmup_ms * MS)
+    warmup_cut = engine.now
+    engine.run_until((params.warmup_ms + params.measure_ms) * MS)
+
+    large_lat = [r.latency_ns for r in large.records if r.start_ns >= warmup_cut]
+    small_lat = [r.latency_ns for r in small.records if r.start_ns >= warmup_cut]
+    return Fig20Point(
+        policy=policy,
+        load_pct=load_pct,
+        large_p99_ms=percentile(large_lat, 99) / MS,
+        large_p50_ms=percentile(large_lat, 50) / MS,
+        small_p99_us=percentile(small_lat, 99) / US,
+        small_p50_us=percentile(small_lat, 50) / US,
+        large_rpcs=len(large_lat),
+        small_rpcs=len(small_lat),
+    )
+
+
+def run(params: Fig20Params = Fig20Params()) -> Fig20Result:
+    """Full sweep."""
+    result = Fig20Result()
+    for policy in params.policies:
+        for load in params.loads_pct:
+            result.points.append(run_cell(params, policy, load))
+    return result
+
+
+def render(result: Fig20Result) -> str:
+    """Both panels of the figure as one table."""
+    rows = [
+        (p.policy.value, p.load_pct, round(p.large_p99_ms, 2),
+         round(p.large_p50_ms, 2), round(p.small_p99_us, 1),
+         round(p.small_p50_us, 1), p.large_rpcs, p.small_rpcs)
+        for p in result.points
+    ]
+    return format_table(
+        ["policy", "load_pct", "large_p99_ms", "large_p50_ms",
+         "small_p99_us", "small_p50_us", "n_large", "n_small"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,166 @@
+"""Extension experiment: end-host flow scheduling (the §2.1 pFabric use
+case the paper motivates but does not evaluate).
+
+A heavy-tailed mix of short (mice) and long (elephant) flows shares a
+two-priority bottleneck.  End hosts mark packets PIAS-style — a flow's
+first ``threshold`` bytes ride high priority, the rest low — so mice finish
+ahead of the elephants they'd otherwise queue behind.  Because a flow's
+priority changes mid-stream, its packets straddle both switch queues and
+reorder; the experiment compares the scheduling benefit with a Juggler
+receiver against a vanilla one, and against no prioritisation at all.
+
+Expected shape: prioritisation slashes mice flow-completion times (FCT)
+when the receiver is reordering-resilient; with the vanilla receiver the
+reordering tax eats into the benefit (and hurts the elephants).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.config import JugglerConfig
+from repro.fabric.topology import build_priority_dumbbell
+from repro.harness.experiment import GroKind, make_gro_factory
+from repro.harness.metrics import percentile
+from repro.harness.reporting import format_table
+from repro.nic.nic import NicConfig
+from repro.qos.flow_scheduling import PiasMarker
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.time import MS, US
+from repro.tcp.config import TcpConfig
+from repro.tcp.connection import Connection
+
+
+@dataclass(frozen=True)
+class SchedulingParams:
+    """Workload and fabric configuration."""
+
+    mice_bytes: int = 50_000
+    elephant_bytes: int = 2_000_000
+    mice_fraction: float = 0.8
+    #: Offered load as a fraction of the 40 Gb/s bottleneck.
+    load: float = 0.7
+    line_rate_gbps: float = 40.0
+    #: PIAS demotion threshold: mice never leave the high-priority queue.
+    threshold_bytes: int = 100_000
+    inseq_timeout_us: int = 13
+    ofo_timeout_us: int = 200
+    warmup_ms: int = 8
+    measure_ms: int = 30
+    seed: int = 2026
+
+
+@dataclass
+class SchedulingPoint:
+    """One (marking, kernel) configuration's FCT statistics."""
+
+    label: str
+    mice_p50_us: float
+    mice_p99_us: float
+    elephant_p99_ms: float
+    mice_done: int
+    elephants_done: int
+
+
+@dataclass
+class _FlowRecord:
+    size: int
+    started: int
+    finished: Optional[int] = None
+
+
+def run_config(params: SchedulingParams, *, kind: GroKind,
+               prioritize: bool) -> SchedulingPoint:
+    """One configuration of the mice/elephants experiment."""
+    engine = Engine()
+    rngs = RngRegistry(params.seed)
+    arrival_rng = rngs.stream("arrivals")
+    config = JugglerConfig(inseq_timeout=params.inseq_timeout_us * US,
+                           ofo_timeout=params.ofo_timeout_us * US)
+    bed = build_priority_dumbbell(
+        engine,
+        make_gro_factory(kind, config),
+        n_senders=2,
+        n_receivers=2,
+        host_rate_gbps=params.line_rate_gbps,
+        bottleneck_gbps=params.line_rate_gbps,
+        nic_config=NicConfig(num_queues=1, coalesce_ns=30_000,
+                             coalesce_frames=32),
+    )
+    tcp = TcpConfig(rx_buffer=8 << 20)
+    records: List[_FlowRecord] = []
+    mean_size = (params.mice_fraction * params.mice_bytes
+                 + (1 - params.mice_fraction) * params.elephant_bytes)
+    mean_gap_ns = mean_size * 8 / (params.line_rate_gbps * params.load)
+    next_port = [10_000]
+
+    def launch_flow() -> None:
+        mouse = arrival_rng.random() < params.mice_fraction
+        size = params.mice_bytes if mouse else params.elephant_bytes
+        sender_host = bed.senders[next_port[0] % 2]
+        receiver_host = bed.receivers[next_port[0] % 2]
+        record = _FlowRecord(size, engine.now)
+        records.append(record)
+
+        def on_bytes(watermark, now, record=record, size=size):
+            if record.finished is None and watermark >= size:
+                record.finished = now
+
+        conn = Connection(engine, sender_host, receiver_host,
+                          next_port[0], 80, tcp, on_bytes=on_bytes)
+        next_port[0] += 1
+        if prioritize:
+            conn.sender.priority_fn = PiasMarker(
+                params.threshold_bytes).priority_fn
+        conn.send(size)
+        engine.schedule(
+            max(1, round(arrival_rng.expovariate(1.0 / mean_gap_ns))),
+            launch_flow)
+
+    launch_flow()
+    engine.run_until((params.warmup_ms + params.measure_ms) * MS)
+
+    done = [r for r in records
+            if r.finished is not None and r.started >= params.warmup_ms * MS]
+    mice = [r.finished - r.started for r in done if r.size == params.mice_bytes]
+    elephants = [r.finished - r.started for r in done
+                 if r.size == params.elephant_bytes]
+    label = f"{'pias' if prioritize else 'none'}/{kind.value}"
+    return SchedulingPoint(
+        label=label,
+        mice_p50_us=percentile(mice, 50) / US,
+        mice_p99_us=percentile(mice, 99) / US,
+        elephant_p99_ms=percentile(elephants, 99) / MS,
+        mice_done=len(mice),
+        elephants_done=len(elephants),
+    )
+
+
+def run(params: SchedulingParams = SchedulingParams()) -> List[SchedulingPoint]:
+    """Baseline, PIAS+Juggler, PIAS+vanilla."""
+    return [
+        run_config(params, kind=GroKind.JUGGLER, prioritize=False),
+        run_config(params, kind=GroKind.JUGGLER, prioritize=True),
+        run_config(params, kind=GroKind.VANILLA, prioritize=True),
+    ]
+
+
+def render(points: List[SchedulingPoint]) -> str:
+    """FCT comparison table."""
+    rows = [
+        (p.label, round(p.mice_p50_us, 1), round(p.mice_p99_us, 1),
+         round(p.elephant_p99_ms, 2), p.mice_done, p.elephants_done)
+        for p in points
+    ]
+    return format_table(
+        ["config", "mice_p50_us", "mice_p99_us", "elephant_p99_ms",
+         "n_mice", "n_eleph"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

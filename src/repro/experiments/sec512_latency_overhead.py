@@ -1,0 +1,87 @@
+"""§5.1.2: Juggler adds no latency to short RPCs without reordering.
+
+"one client sends 150 Byte RPC messages to a server, with no competing
+traffic in the network ... the median end-to-end latency is the same, with
+and without Juggler."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.config import JugglerConfig
+from repro.fabric.topology import build_netfpga_pair
+from repro.harness.experiment import GroKind, make_gro_factory
+from repro.harness.metrics import percentile
+from repro.harness.reporting import format_table
+from repro.nic.nic import NicConfig
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.time import MS, US
+from repro.tcp.connection import Connection
+from repro.workloads.rpc import PingPongRpc
+
+
+@dataclass(frozen=True)
+class Sec512Params:
+    """Experiment configuration."""
+
+    rpc_bytes: int = 150
+    rate_gbps: float = 40.0
+    duration_ms: int = 40
+    seed: int = 512
+
+
+@dataclass
+class Sec512Point:
+    """One kernel's RPC latency distribution."""
+
+    kind: GroKind
+    median_us: float
+    p99_us: float
+    rpcs: int
+
+
+def run_kernel(params: Sec512Params, kind: GroKind) -> Sec512Point:
+    """Closed-loop small RPCs over an idle network."""
+    engine = Engine()
+    rngs = RngRegistry(params.seed)
+    config = JugglerConfig(inseq_timeout=13 * US, ofo_timeout=100 * US)
+    bed = build_netfpga_pair(
+        engine,
+        rngs.stream("unused"),
+        make_gro_factory(kind, config),
+        rate_gbps=params.rate_gbps,
+        reorder_delay_ns=0,
+        nic_config=NicConfig(coalesce_ns=10_000, coalesce_frames=4),
+    )
+    conn = Connection(engine, bed.sender, bed.receiver, 1000, 80)
+    workload = PingPongRpc(engine, conn, rpc_bytes=params.rpc_bytes)
+    workload.start()
+    engine.run_until(params.duration_ms * MS)
+
+    latencies = workload.latencies_ns()
+    return Sec512Point(
+        kind=kind,
+        median_us=percentile(latencies, 50) / US,
+        p99_us=percentile(latencies, 99) / US,
+        rpcs=len(latencies),
+    )
+
+
+def run(params: Sec512Params = Sec512Params()) -> List[Sec512Point]:
+    """Both kernels."""
+    return [run_kernel(params, GroKind.JUGGLER),
+            run_kernel(params, GroKind.VANILLA)]
+
+
+def render(points: List[Sec512Point]) -> str:
+    """Medians side by side."""
+    rows = [(p.kind.value, round(p.median_us, 2), round(p.p99_us, 2), p.rpcs)
+            for p in points]
+    return format_table(["kernel", "median_us", "p99_us", "rpcs"], rows)
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,46 @@
+"""The network fabric: links, switches, load balancing, topologies.
+
+Substitutes for the paper's hardware testbeds: the 40 Gb/s two-stage Clos
+(Figure 19), the strict-priority bottleneck of the bandwidth-guarantee
+experiment (Figure 17), and the NetFPGA-10G switch that injects precisely
+controlled reordering (Figure 11).  Reordering emerges here exactly as in
+the testbed — from queueing-delay differences across parallel paths and
+priority levels — not from any artificial shuffling of the packet stream.
+"""
+
+from repro.fabric.link import QueuedLink, LinkStats
+from repro.fabric.routing import (
+    EcmpRouting,
+    FlowletRouting,
+    PerPacketRouting,
+    PerTsoRouting,
+    RoutingPolicy,
+)
+from repro.fabric.switch import Switch
+from repro.fabric.netfpga import ReorderingSwitch
+from repro.fabric.drop import DropElement
+from repro.fabric.host import Host
+from repro.fabric.topology import (
+    ClosNetwork,
+    build_clos,
+    build_netfpga_pair,
+    build_priority_dumbbell,
+)
+
+__all__ = [
+    "QueuedLink",
+    "LinkStats",
+    "RoutingPolicy",
+    "EcmpRouting",
+    "FlowletRouting",
+    "PerPacketRouting",
+    "PerTsoRouting",
+    "Switch",
+    "ReorderingSwitch",
+    "DropElement",
+    "Host",
+    "ClosNetwork",
+    "build_clos",
+    "build_netfpga_pair",
+    "build_priority_dumbbell",
+]

@@ -1,0 +1,35 @@
+"""Uniform random packet dropper.
+
+The Figure 14 experiment drops "0.1% of the packets uniformly at random
+before they enter Juggler" at the client.  :class:`DropElement` is that
+inline bit-bucket: wrap any sink with it and a fraction ``p`` of packets
+never arrive.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.fabric.link import PacketSink
+from repro.net.packet import Packet
+
+
+class DropElement:
+    """Pass-through sink that loses each packet with probability ``p``."""
+
+    def __init__(self, sink: PacketSink, rng: random.Random, p: float):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"drop probability must be in [0, 1], got {p}")
+        self.sink = sink
+        self._rng = rng
+        self.p = p
+        self.dropped = 0
+        self.passed = 0
+
+    def receive(self, packet: Packet) -> None:
+        """Drop or forward one packet."""
+        if self.p > 0.0 and self._rng.random() < self.p:
+            self.dropped += 1
+            return
+        self.passed += 1
+        self.sink.receive(packet)

@@ -1,0 +1,149 @@
+"""Output-queued links with optional strict-priority service.
+
+A :class:`QueuedLink` models one switch/NIC output port: packets enqueue
+into one of N strict-priority FIFO queues and are serialised one at a time
+at the link rate, then delivered to the downstream sink after the
+propagation delay.  Queue depth statistics feed the paper's buffer-occupancy
+observations (§5.3.2); the two-priority configuration is the substrate for
+the bandwidth-guarantee system (Figures 17, 18).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Protocol
+
+from repro.net.constants import transmit_time_ns
+from repro.net.packet import Packet
+from repro.sim.engine import Engine
+
+
+class PacketSink(Protocol):
+    """Anything that accepts packets at their arrival instant."""
+
+    def receive(self, packet: Packet) -> None:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class LinkStats:
+    """Per-link counters."""
+
+    packets: int = 0
+    bytes: int = 0
+    drops: int = 0
+    busy_ns: int = 0
+    max_queue_bytes: int = 0
+    ce_marked: int = 0
+    #: Per-priority packet counts.
+    per_priority: dict = field(default_factory=dict)
+
+    def utilization(self, elapsed_ns: int) -> float:
+        """Fraction of the window the transmitter was busy."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.busy_ns / elapsed_ns
+
+
+class QueuedLink:
+    """One transmitter, N strict-priority queues, infinite-or-capped buffer."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        rate_gbps: float,
+        sink: PacketSink,
+        *,
+        prop_delay_ns: int = 500,
+        priorities: int = 1,
+        capacity_bytes: Optional[int] = None,
+        ecn_threshold_bytes: Optional[int] = None,
+        name: str = "link",
+    ):
+        if rate_gbps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_gbps}")
+        if priorities < 1:
+            raise ValueError(f"need at least one priority level, got {priorities}")
+        self._engine = engine
+        self.rate_gbps = rate_gbps
+        self.sink = sink
+        self.prop_delay_ns = prop_delay_ns
+        self.capacity_bytes = capacity_bytes
+        #: DCTCP-style marking: packets arriving at a queue whose depth
+        #: exceeds this get CE-marked (None disables marking).
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+        self.name = name
+        self._queues: List[Deque[Packet]] = [deque() for _ in range(priorities)]
+        self._queue_bytes: List[int] = [0] * priorities
+        self._queued_bytes = 0
+        self._busy = False
+        self.stats = LinkStats()
+
+    @property
+    def queued_bytes(self) -> int:
+        """Bytes waiting (excludes the packet currently on the wire)."""
+        return self._queued_bytes
+
+    @property
+    def queued_packets(self) -> int:
+        """Packets waiting across all priority levels."""
+        return sum(len(q) for q in self._queues)
+
+    def queue_depth(self, priority: int) -> int:
+        """Packets waiting at one priority level."""
+        return len(self._queues[priority])
+
+    def receive(self, packet: Packet) -> None:
+        """Alias so a link can terminate another link directly."""
+        self.enqueue(packet)
+
+    def enqueue(self, packet: Packet) -> None:
+        """Queue ``packet`` for transmission.
+
+        ``capacity_bytes`` bounds each priority level's queue separately
+        (switch output queues have per-queue buffers); overflow tail-drops.
+        """
+        level = min(packet.priority, len(self._queues) - 1)
+        if (
+            self.capacity_bytes is not None
+            and self._queue_bytes[level] + packet.wire_len > self.capacity_bytes
+        ):
+            self.stats.drops += 1
+            return
+        if (
+            self.ecn_threshold_bytes is not None
+            and packet.payload_len > 0
+            and self._queue_bytes[level] > self.ecn_threshold_bytes
+        ):
+            packet.ce = True
+            self.stats.ce_marked += 1
+        self._queues[level].append(packet)
+        self._queue_bytes[level] += packet.wire_len
+        self._queued_bytes += packet.wire_len
+        if self._queued_bytes > self.stats.max_queue_bytes:
+            self.stats.max_queue_bytes = self._queued_bytes
+        if not self._busy:
+            self._transmit_next()
+
+    def _transmit_next(self) -> None:
+        for level, queue in enumerate(self._queues):
+            if queue:
+                packet = queue.popleft()
+                break
+        else:
+            self._busy = False
+            return
+        self._busy = True
+        self._queue_bytes[level] -= packet.wire_len
+        self._queued_bytes -= packet.wire_len
+        tx_ns = transmit_time_ns(packet.payload_len, self.rate_gbps)
+        self.stats.packets += 1
+        self.stats.bytes += packet.wire_len
+        self.stats.busy_ns += tx_ns
+        self.stats.per_priority[level] = self.stats.per_priority.get(level, 0) + 1
+        self._engine.schedule(tx_ns, self._tx_done, packet)
+
+    def _tx_done(self, packet: Packet) -> None:
+        self._engine.schedule(self.prop_delay_ns, self.sink.receive, packet)
+        self._transmit_next()

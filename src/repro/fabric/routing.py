@@ -1,0 +1,113 @@
+"""Uplink selection policies — the load-balancing granularities of Figure 20.
+
+* :class:`EcmpRouting` — per-flow hashing, the status quo the paper's §2.2
+  criticises: one elephant pins one path.
+* :class:`PerTsoRouting` — Presto-style: every 64 KB TSO burst is sprayed as
+  a unit, so packets inside a burst stay ordered but bursts interleave.
+* :class:`PerPacketRouting` — the finest granularity, ideal balance, and the
+  one that needs Juggler: consecutive packets of one flow take different
+  paths and can reorder.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional
+
+from repro.net.packet import Packet
+
+
+class RoutingPolicy(abc.ABC):
+    """Chooses an uplink index for each packet."""
+
+    @abc.abstractmethod
+    def choose(self, packet: Packet, nports: int) -> int:
+        """Return the uplink index in ``[0, nports)`` for ``packet``."""
+
+    @staticmethod
+    def _mix(value: int, salt: int) -> int:
+        """Cheap integer hash, independent of the NIC's RSS function."""
+        h = (value ^ salt) * 0x9E3779B97F4A7C15 & 0xFFFFFFFFFFFFFFFF
+        h ^= h >> 31
+        return h
+
+
+class EcmpRouting(RoutingPolicy):
+    """Hash the five-tuple: all packets of a flow share one path."""
+
+    def __init__(self, salt: int = 0x5CA1AB1E):
+        self.salt = salt
+
+    def choose(self, packet: Packet, nports: int) -> int:
+        return self._mix(hash(packet.flow), self.salt) % nports
+
+
+class PerTsoRouting(RoutingPolicy):
+    """Hash (five-tuple, TSO burst id): bursts spray, packets inside don't."""
+
+    def __init__(self, salt: int = 0x7E570):
+        self.salt = salt
+
+    def choose(self, packet: Packet, nports: int) -> int:
+        burst = packet.tso_id if packet.tso_id is not None else -1
+        return self._mix(hash((packet.flow, burst)), self.salt) % nports
+
+
+class PerPacketRouting(RoutingPolicy):
+    """Spray every packet independently (round-robin or uniform random)."""
+
+    def __init__(self, rng: Optional[random.Random] = None):
+        #: With an rng, choices are uniform random; without, round-robin.
+        self._rng = rng
+        self._counter = 0
+
+    def choose(self, packet: Packet, nports: int) -> int:
+        if self._rng is not None:
+            return self._rng.randrange(nports)
+        self._counter = (self._counter + 1) % nports
+        return self._counter
+
+
+class FlowletRouting(RoutingPolicy):
+    """CONGA-style flowlet switching (§2.2's related-work middle ground).
+
+    A flow's packets keep their current path while they arrive back to
+    back; a gap longer than ``flowlet_gap_ns`` ends the flowlet, and the
+    next burst may take a new path.  If the gap exceeds the path-delay
+    skew, no reordering reaches the end host — the property CONGA relies on
+    so that it "eliminate[s] almost all packet reordering seen at the
+    end-host" without a resilient stack.
+
+    Needs a clock: the switch passes arrival times via :meth:`observe`
+    before :meth:`choose` (our :class:`~repro.fabric.switch.Switch` does
+    this automatically when the policy exposes ``wants_time``).
+    """
+
+    wants_time = True
+
+    def __init__(self, rng: random.Random, flowlet_gap_ns: int = 100_000):
+        if flowlet_gap_ns < 0:
+            raise ValueError(f"flowlet gap must be >= 0, got {flowlet_gap_ns}")
+        self._rng = rng
+        self.flowlet_gap_ns = flowlet_gap_ns
+        #: flow -> (current port, last packet time)
+        self._state: dict = {}
+        self._now = 0
+        self.flowlets_started = 0
+
+    def observe(self, now: int) -> None:
+        """Supply the current time for gap detection."""
+        self._now = now
+
+    def choose(self, packet: Packet, nports: int) -> int:
+        entry = self._state.get(packet.flow)
+        if entry is not None:
+            port, last = entry
+            if self._now - last <= self.flowlet_gap_ns:
+                self._state[packet.flow] = (port, self._now)
+                return port
+        port = self._rng.randrange(nports)
+        self._state[packet.flow] = (port, self._now)
+        self.flowlets_started += 1
+        return port

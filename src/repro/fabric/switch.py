@@ -1,0 +1,54 @@
+"""An output-queued switch with direct routes and load-balanced uplinks."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.fabric.link import QueuedLink
+from repro.fabric.routing import EcmpRouting, RoutingPolicy
+from repro.net.packet import Packet
+
+
+class Switch:
+    """Forwards by destination: directly-attached hosts win, else an uplink.
+
+    A ToR registers its local hosts as direct routes and its spine links as
+    uplinks; a spine registers every host via the downlink toward the host's
+    ToR.  The uplink-selection policy is the experiment's load-balancing
+    granularity knob (Figure 20).
+    """
+
+    def __init__(self, name: str = "switch",
+                 policy: Optional[RoutingPolicy] = None,
+                 engine=None):
+        self.name = name
+        self.policy: RoutingPolicy = policy if policy is not None else EcmpRouting()
+        #: Needed only by time-aware policies (flowlet switching).
+        self.engine = engine
+        self._direct: Dict[int, QueuedLink] = {}
+        self.uplinks: List[QueuedLink] = []
+        #: Packets with no matching route (should stay zero in experiments).
+        self.unroutable = 0
+
+    def add_route(self, dst: int, link: QueuedLink) -> None:
+        """Route packets destined for host ``dst`` out of ``link``."""
+        self._direct[dst] = link
+
+    def add_uplink(self, link: QueuedLink) -> None:
+        """Register a load-balanced uplink for non-local destinations."""
+        self.uplinks.append(link)
+
+    def receive(self, packet: Packet) -> None:
+        """Forward one packet."""
+        direct = self._direct.get(packet.flow.dst)
+        if direct is not None:
+            direct.enqueue(packet)
+            return
+        if not self.uplinks:
+            self.unroutable += 1
+            return
+        if getattr(self.policy, "wants_time", False) and self.engine is not None:
+            self.policy.observe(self.engine.now)
+        index = self.policy.choose(packet, len(self.uplinks))
+        packet.path_id = index
+        self.uplinks[index].enqueue(packet)

@@ -1,0 +1,50 @@
+"""Shared experiment plumbing: GRO engine selection by name."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.core.base import DeliverFn, GroEngine
+from repro.core.chained_gro import ChainedGRO
+from repro.core.config import JugglerConfig
+from repro.core.juggler import JugglerGRO
+from repro.core.presto_gro import PrestoGRO
+from repro.core.standard_gro import StandardGRO
+from repro.cpu.accounting import GroCpuAccountant
+from repro.nic.nic import GroFactory
+
+
+class GroKind(enum.Enum):
+    """Which receive-offload implementation a host runs."""
+
+    JUGGLER = "juggler"
+    VANILLA = "vanilla"
+    CHAINED = "chained"
+    PRESTO = "presto"
+
+
+def make_gro_factory(
+    kind: GroKind,
+    config: Optional[JugglerConfig] = None,
+    accountant: Optional[GroCpuAccountant] = None,
+) -> GroFactory:
+    """Build a per-RX-queue GRO factory for the requested engine.
+
+    When an ``accountant`` is given, all queues share it, so its meter
+    reports the host's total RX-core work — matching the paper's setup of
+    aiming "all flows on a single RX queue".
+    """
+
+    def factory(deliver: DeliverFn) -> GroEngine:
+        if kind is GroKind.JUGGLER:
+            return JugglerGRO(deliver, config, accountant)
+        if kind is GroKind.VANILLA:
+            return StandardGRO(deliver, accountant)
+        if kind is GroKind.CHAINED:
+            return ChainedGRO(deliver, accountant)
+        if kind is GroKind.PRESTO:
+            return PrestoGRO(deliver, config, accountant)
+        raise ValueError(f"unknown GRO kind: {kind}")
+
+    return factory

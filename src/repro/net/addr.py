@@ -1,0 +1,42 @@
+"""The canonical five-tuple flow key.
+
+Juggler keys its ``gro_table`` entries "by the canonical five-tuple" (§4.1);
+the NIC's RSS hash that spreads flows across receive queues uses the same
+tuple.  We model addresses as small integers (host ids / port numbers) —
+sufficient for hashing and equality, which is all the stack inspects.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class FiveTuple(NamedTuple):
+    """(src addr, dst addr, src port, dst port, protocol)."""
+
+    src: int
+    dst: int
+    sport: int
+    dport: int
+    proto: int = 6  # TCP
+
+    def reversed(self) -> "FiveTuple":
+        """The tuple of the opposite direction (for ACKs)."""
+        return FiveTuple(self.dst, self.src, self.dport, self.sport, self.proto)
+
+    def rss_hash(self) -> int:
+        """Deterministic flow hash, stand-in for the NIC's Toeplitz hash.
+
+        Real NICs hash the five-tuple so all packets of one flow land on one
+        RX queue; any well-mixed deterministic function reproduces that
+        behaviour.  We use an FNV-1a style mix over the tuple fields.
+        """
+        h = 0xCBF29CE484222325
+        for field in self:
+            h ^= field & 0xFFFFFFFF
+            h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+            h ^= h >> 29
+        return h
+
+    def __str__(self) -> str:
+        return f"{self.src}:{self.sport}->{self.dst}:{self.dport}/{self.proto}"

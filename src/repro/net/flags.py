@@ -1,0 +1,30 @@
+"""TCP flag bits — the subset GRO inspects for flush decisions."""
+
+from __future__ import annotations
+
+import enum
+
+
+class TcpFlags(enum.IntFlag):
+    """TCP header flags.
+
+    Juggler flushes immediately when a packet carries "certain flags (e.g.,
+    PUSH, URGENT)" (Table 2) because protocol semantics require prompt
+    delivery; SYN/FIN/RST likewise terminate batching in standard GRO.
+    """
+
+    NONE = 0
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+    ECE = 0x40
+    CWR = 0x80
+
+    @property
+    def forces_flush(self) -> bool:
+        """True if a packet with these flags must be delivered immediately."""
+        return bool(self & (TcpFlags.PSH | TcpFlags.URG | TcpFlags.SYN
+                            | TcpFlags.FIN | TcpFlags.RST))

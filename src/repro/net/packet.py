@@ -1,0 +1,108 @@
+"""The Packet — the simulation's sk_buff as it arrives from the wire."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.net.addr import FiveTuple
+from repro.net.constants import PRIORITY_LOW, wire_bytes
+from repro.net.flags import TcpFlags
+
+_packet_ids = itertools.count()
+
+
+class Packet:
+    """One MTU-or-smaller TCP/IP packet.
+
+    Carries exactly the header state the GRO layer inspects (five-tuple,
+    sequence number, flags, options signature, CE mark) plus bookkeeping the
+    harness uses to measure reordering (``pid``, ``sent_at``, ``tso_id``).
+    """
+
+    __slots__ = (
+        "flow",
+        "seq",
+        "payload_len",
+        "flags",
+        "ack",
+        "options",
+        "ce",
+        "priority",
+        "rwnd",
+        "sack",
+        "ce_bytes",
+        "pid",
+        "tso_id",
+        "sent_at",
+        "received_at",
+        "is_retransmission",
+        "path_id",
+    )
+
+    def __init__(
+        self,
+        flow: FiveTuple,
+        seq: int,
+        payload_len: int,
+        *,
+        flags: TcpFlags = TcpFlags.ACK,
+        ack: int = 0,
+        options: tuple = (),
+        ce: bool = False,
+        priority: int = PRIORITY_LOW,
+        tso_id: Optional[int] = None,
+        sent_at: int = 0,
+        is_retransmission: bool = False,
+        rwnd: Optional[int] = None,
+        sack: tuple = (),
+    ):
+        self.flow = flow
+        self.seq = seq
+        self.payload_len = payload_len
+        self.flags = flags
+        self.ack = ack
+        self.rwnd = rwnd
+        self.sack = sack
+        #: On ACKs: payload bytes the receiver saw CE-marked since its last
+        #: ACK (DCTCP-style precise congestion feedback).
+        self.ce_bytes = 0
+        self.options = options
+        self.ce = ce
+        self.priority = priority
+        self.pid = next(_packet_ids)
+        self.tso_id = tso_id
+        self.sent_at = sent_at
+        self.received_at = 0
+        self.is_retransmission = is_retransmission
+        self.path_id = 0
+
+    @property
+    def end_seq(self) -> int:
+        """Sequence number of the byte just past this packet's payload."""
+        return self.seq + self.payload_len
+
+    @property
+    def wire_len(self) -> int:
+        """Bytes occupied on the wire, including all framing overhead."""
+        return wire_bytes(self.payload_len)
+
+    @property
+    def is_pure_ack(self) -> bool:
+        """True for a zero-payload ACK (never buffered by GRO)."""
+        return self.payload_len == 0 and bool(self.flags & TcpFlags.ACK)
+
+    def merge_signature(self) -> tuple:
+        """Header fields that must match for GRO to merge two packets.
+
+        Per Table 2, a packet that "differs from [the] in-sequence segment in
+        TCP options, CE marks, etc" cannot be merged without losing
+        information TCP needs, and forces a flush.
+        """
+        return (self.options, self.ce, self.flags & ~TcpFlags.PSH)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Packet {self.flow} seq={self.seq}+{self.payload_len} "
+            f"flags={self.flags!r} prio={self.priority}>"
+        )

@@ -1,0 +1,91 @@
+"""A multi-queue NIC: RSS demultiplexing onto per-queue GRO instances."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.base import DeliverFn, GroEngine
+from repro.net.packet import Packet
+from repro.nic.rxqueue import RxQueue
+from repro.sim.engine import Engine
+
+#: Builds one GRO engine per RX queue; receives that queue's deliver fn.
+GroFactory = Callable[[DeliverFn], GroEngine]
+
+
+@dataclass(frozen=True)
+class NicConfig:
+    """Receive-side NIC parameters."""
+
+    #: Number of RX queues ("NICs today hash one flow to one receive
+    #: queue", §5.3.1 — more queues spread flows, not packets).
+    num_queues: int = 1
+    #: Interrupt coalescing period in ns (125 µs in the paper's testbed).
+    coalesce_ns: int = 125_000
+    #: Frame-count trigger: interrupt fires early once this many frames are
+    #: pending (0 = time-only coalescing).  At line rate a frames trigger
+    #: sets the NAPI poll cadence, hence the batching floor of Figure 12.
+    coalesce_frames: int = 0
+    #: Ring buffer capacity per queue, in packets.
+    ring_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.num_queues < 1:
+            raise ValueError(f"need at least one RX queue, got {self.num_queues}")
+        if self.coalesce_ns < 0:
+            raise ValueError(f"coalesce_ns must be >= 0, got {self.coalesce_ns}")
+        if self.ring_size < 1:
+            raise ValueError(f"ring_size must be >= 1, got {self.ring_size}")
+
+
+class Nic:
+    """RSS front-end over ``num_queues`` independent RX queues.
+
+    All packets of one five-tuple land on one queue (Toeplitz-style hash),
+    so per-queue GRO state never sees cross-queue interleaving — the same
+    invariant Juggler relies on (§4: "different RX queues operate
+    independently and have their private data structures").
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        deliver: DeliverFn,
+        gro_factory: GroFactory,
+        config: Optional[NicConfig] = None,
+        name: str = "nic",
+    ):
+        self.config = config if config is not None else NicConfig()
+        self.name = name
+        self.queues: List[RxQueue] = []
+        for i in range(self.config.num_queues):
+            gro = gro_factory(deliver)
+            self.queues.append(
+                RxQueue(
+                    engine,
+                    gro,
+                    coalesce_ns=self.config.coalesce_ns,
+                    coalesce_frames=self.config.coalesce_frames,
+                    ring_size=self.config.ring_size,
+                    name=f"{name}.rxq{i}",
+                )
+            )
+
+    def queue_for(self, packet: Packet) -> RxQueue:
+        """The RX queue this packet's flow hashes to."""
+        return self.queues[packet.flow.rss_hash() % len(self.queues)]
+
+    def receive(self, packet: Packet) -> None:
+        """Entry point from the wire."""
+        self.queue_for(packet).enqueue(packet)
+
+    @property
+    def dropped(self) -> int:
+        """Total ring-overflow drops across queues."""
+        return sum(q.dropped for q in self.queues)
+
+    def drain(self) -> None:
+        """Teardown: force-process all rings and flush all GRO state."""
+        for queue in self.queues:
+            queue.drain()

@@ -1,0 +1,59 @@
+"""Event objects for the discrete-event engine."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, seq)`` where ``seq`` is a monotonically
+    increasing counter assigned by the engine; two events scheduled for the
+    same instant fire in scheduling order.  Events are one-shot.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time} seq={self.seq} cb={name}{state}>"
+
+
+class EventHandle:
+    """Cancellation handle returned by :meth:`Engine.schedule`.
+
+    Cancellation is lazy: the event stays in the heap but is skipped when it
+    reaches the top.  This is O(1) and matches how kernel timers behave from
+    the caller's perspective.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event):
+        self._event = event
+
+    @property
+    def time(self) -> int:
+        """The simulation time this event is scheduled for."""
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending (not cancelled, not fired)."""
+        return not self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True

@@ -1,0 +1,44 @@
+"""Named, independent random streams.
+
+Every stochastic component (RPC arrivals, load-balancer spraying, NetFPGA
+queue choice, drop element, ...) draws from its own stream derived from the
+experiment's root seed.  This keeps experiments reproducible and lets one
+component's draw count change without perturbing the others — essential when
+comparing vanilla vs Juggler runs on "the same" workload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class RngRegistry:
+    """Factory of named :class:`random.Random` streams under one root seed."""
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    @property
+    def seed(self) -> int:
+        """The root seed this registry was created with."""
+        return self._seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it deterministically.
+
+        The same ``(seed, name)`` pair always yields an identically-seeded
+        stream, regardless of creation order.
+        """
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(f"{self._seed}:{name}".encode()).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng
+
+    def fork(self, name: str) -> "RngRegistry":
+        """Derive a child registry (e.g. one per host) from this one."""
+        digest = hashlib.sha256(f"{self._seed}:fork:{name}".encode()).digest()
+        return RngRegistry(int.from_bytes(digest[:8], "big"))

@@ -1,0 +1,40 @@
+"""Time units for the simulator.
+
+All simulation timestamps and durations are integer nanoseconds, mirroring
+the kernel's use of ``ktime_t`` (nanoseconds since epoch) for Juggler's
+``flush_timestamp``.  Using integers keeps event ordering exact and the
+simulation reproducible across platforms.
+"""
+
+#: One nanosecond (the base unit).
+NS = 1
+
+#: Nanoseconds per microsecond.
+US = 1_000
+
+#: Nanoseconds per millisecond.
+MS = 1_000_000
+
+#: Nanoseconds per second.
+SEC = 1_000_000_000
+
+
+def format_time(ns: int) -> str:
+    """Render a nanosecond timestamp in the most readable unit.
+
+    >>> format_time(1_500)
+    '1.500us'
+    >>> format_time(250_000)
+    '250.000us'
+    >>> format_time(3_000_000_000)
+    '3.000s'
+    """
+    if ns < 0:
+        return "-" + format_time(-ns)
+    if ns < US:
+        return f"{ns}ns"
+    if ns < MS:
+        return f"{ns / US:.3f}us"
+    if ns < SEC:
+        return f"{ns / MS:.3f}ms"
+    return f"{ns / SEC:.3f}s"

@@ -1,0 +1,69 @@
+"""A re-armable one-shot timer, modelled on the kernel's hrtimer.
+
+Juggler registers "one high resolution timer callback per gro_table"
+(§4.2.2) to check the ``inseq_timeout`` / ``ofo_timeout`` conditions between
+polling intervals.  :class:`Timer` provides that abstraction on top of the
+event engine: arm it for a deadline, re-arm to move the deadline, cancel it,
+and the callback fires at most once per arming.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.event import EventHandle
+
+
+class Timer:
+    """One-shot re-armable timer bound to an engine and a callback."""
+
+    def __init__(self, engine: Engine, callback: Callable[[], Any]):
+        self._engine = engine
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def armed(self) -> bool:
+        """True if the timer has a pending expiry."""
+        return self._handle is not None and self._handle.active
+
+    @property
+    def expires_at(self) -> Optional[int]:
+        """Absolute expiry time, or None when disarmed."""
+        if self.armed:
+            assert self._handle is not None
+            return self._handle.time
+        return None
+
+    def arm_at(self, time: int) -> None:
+        """(Re-)arm the timer for absolute time ``time``."""
+        self.cancel()
+        self._handle = self._engine.schedule_at(time, self._fire)
+
+    def arm_after(self, delay: int) -> None:
+        """(Re-)arm the timer ``delay`` ns from now."""
+        self.arm_at(self._engine.now + delay)
+
+    def arm_if_earlier(self, time: int) -> None:
+        """Arm for ``time`` unless already armed for an earlier deadline.
+
+        This is how Juggler's per-table hrtimer is managed: each buffered
+        packet wants a wake-up at its own timeout; the timer tracks the
+        soonest one.
+        """
+        if self.armed:
+            assert self._handle is not None
+            if self._handle.time <= time:
+                return
+        self.arm_at(time)
+
+    def cancel(self) -> None:
+        """Disarm the timer if pending.  Idempotent."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()

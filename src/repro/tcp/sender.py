@@ -1,0 +1,448 @@
+"""The TCP send side: Reno congestion control over TSO bursts.
+
+The sender transmits data in TSO bursts (up to 64 KB handed to the NIC at
+once), which is both how real stacks amortise per-packet cost and the origin
+of the traffic burstiness Juggler's eviction policy exploits (§4.3).  It
+implements slow start, congestion avoidance, 3-dupACK fast retransmit with
+NewReno partial-ACK handling, and an RTO with exponential backoff — enough
+for reordering-induced duplicate ACKs to do exactly the damage the paper
+describes for the vanilla kernel.
+
+An optional ``priority_fn`` assigns each outgoing packet a network priority;
+the bandwidth-guarantee controller (§2.1) plugs in there.  An optional
+pacing rate reproduces the experiments that "rate limit the total
+throughput" (§5.1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.fabric.host import Host
+from repro.net.addr import FiveTuple
+from repro.net.constants import MSS, PRIORITY_LOW
+from repro.net.packet import Packet
+from repro.net.segment import Segment
+from repro.net.tso import segment_tso_burst
+from repro.sim.engine import Engine
+from repro.sim.timer import Timer
+from repro.tcp.config import TcpConfig
+
+#: Returns the priority for one outgoing packet.
+PriorityFn = Callable[[Packet], int]
+
+
+class TcpSender:
+    """One flow's transmit side."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        host: Host,
+        flow: FiveTuple,
+        config: Optional[TcpConfig] = None,
+        *,
+        priority_fn: Optional[PriorityFn] = None,
+        pacing_gbps: Optional[float] = None,
+        options: tuple = (),
+    ):
+        self._engine = engine
+        self._host = host
+        self.flow = flow
+        self.config = config if config is not None else TcpConfig()
+        self.priority_fn = priority_fn
+        self.pacing_gbps = pacing_gbps
+        self.options = options
+        host.register_handler(flow.reversed(), self.on_ack_segment)
+
+        # Sequence state (byte granularity).
+        self.snd_una = 0
+        self.snd_nxt = 0
+        #: Highest byte ever put on the wire (snd_nxt can rewind on RTO).
+        self.high_sent = 0
+        #: Application bytes enqueued for transmission so far.
+        self.data_target = 0
+
+        # Congestion control.
+        self.cwnd = self.config.init_cwnd
+        self.ssthresh = 1 << 62
+        self.dup_acks = 0
+        self.in_recovery = False
+        self.recover = 0
+        self.peer_rwnd = self.config.rx_buffer
+
+        # SACK scoreboard: disjoint sorted ranges the peer holds beyond
+        # snd_una, and the retransmission high-water mark within recovery.
+        self.sacked: list = []
+        self.high_rexmit = 0
+
+        # Reordering adaptation (Linux tcp_reordering): DSACKs push the
+        # effective dupACK threshold up so persistent reordering stops
+        # triggering spurious recoveries.
+        self.reordering_threshold = self.config.dupack_threshold
+        self.dsacks_received = 0
+
+        # DCTCP state: congestion-extent EWMA and the per-window counters.
+        self.dctcp_alpha = 0.0
+        self._window_acked = 0
+        self._window_ce = 0
+        self._window_end = 0
+
+        # RTT estimation / RTO.
+        self.srtt: Optional[int] = None
+        self.rttvar = 0
+        self._rto_backoff = 1
+        self._rto_timer = Timer(engine, self._on_rto)
+        self._send_times: Dict[int, int] = {}
+
+        # Pacing.
+        self._next_send_at = 0
+        self._send_wakeup: Optional[object] = None
+
+        # Counters.
+        self.bursts_sent = 0
+        self.packets_sent = 0
+        self.retransmitted_packets = 0
+        self.fast_retransmits = 0
+        self.rtos = 0
+        self.acks_received = 0
+        self.dupacks_received = 0
+
+    # -- application interface --------------------------------------------------
+
+    def send(self, nbytes: int) -> None:
+        """Enqueue ``nbytes`` of application data and try to transmit."""
+        if nbytes <= 0:
+            raise ValueError(f"must send a positive byte count, got {nbytes}")
+        self.data_target += nbytes
+        self._try_send()
+
+    @property
+    def bytes_acked(self) -> int:
+        """Cumulative bytes acknowledged by the peer."""
+        return self.snd_una
+
+    @property
+    def flight_size(self) -> int:
+        """Bytes in flight."""
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def done(self) -> bool:
+        """All enqueued data acknowledged."""
+        return self.snd_una >= self.data_target
+
+    # -- ACK path -----------------------------------------------------------------
+
+    def on_ack_segment(self, segment: Segment) -> None:
+        """GRO delivered ACKs of our flow (usually passthrough singles)."""
+        for packet in segment.packets:
+            self._on_ack(packet)
+
+    def _on_ack(self, packet: Packet) -> None:
+        self.acks_received += 1
+        if packet.rwnd is not None:
+            self.peer_rwnd = packet.rwnd
+        before = self._sacked_bytes()
+        for block in packet.sack:
+            self._merge_sack(block[0], block[1])
+        new_sack_info = self._sacked_bytes() > before
+        if packet.sack and packet.sack[0][1] <= self.snd_una:
+            # Leading block below snd_una is a DSACK: our retransmission was
+            # unnecessary — the "loss" was reordering.  Widen tolerance.
+            self.dsacks_received += 1
+            self.reordering_threshold = min(
+                self.reordering_threshold + 1, self.config.max_reordering)
+        if self.config.ecn and packet.ce_bytes:
+            self._window_ce += packet.ce_bytes
+        ack = packet.ack
+        if ack > self.high_sent:
+            # Acknowledges data we never sent: malformed or stale — ignore
+            # (RFC 793's "unacceptable ACK" handling).
+            return
+        if ack > self.snd_una:
+            self._on_new_ack(ack)
+        elif ack == self.snd_una and self.flight_size > 0:
+            # A DSACK-only ACK (duplicate-data report with no new SACK
+            # information) must not feed the fast-retransmit counter — that
+            # is what stops spurious retransmissions from snowballing.
+            if new_sack_info or not packet.sack:
+                self._on_dup_ack()
+        self._try_send()
+
+    def _on_new_ack(self, ack: int) -> None:
+        acked = ack - self.snd_una
+        self.snd_una = ack
+        if ack > self.snd_nxt:
+            # A rewound send pointer (RTO go-back-N) can be overtaken by a
+            # cumulative ACK covering pre-rewind data: jump forward.
+            self.snd_nxt = ack
+        self.dup_acks = 0
+        self._rto_backoff = 1
+        self._sample_rtt(ack)
+        self.sacked = [(s, e) for s, e in self.sacked if e > ack]
+        if self.high_rexmit < ack:
+            self.high_rexmit = ack
+        if self.in_recovery:
+            if ack >= self.recover:
+                self.in_recovery = False
+                self.cwnd = self.ssthresh
+            else:
+                # Partial ACK: keep filling the scoreboard's holes.
+                self._sack_retransmit()
+        elif self.cwnd < self.ssthresh:
+            self.cwnd += acked  # slow start
+        else:
+            self.cwnd += max(1, MSS * acked // self.cwnd)  # congestion avoidance
+        if self.config.ecn:
+            self._dctcp_window_update(acked, ack)
+        if self.flight_size > 0:
+            self._arm_rto()
+        else:
+            self._rto_timer.cancel()
+
+    def _dupack_threshold(self) -> int:
+        """The fast-retransmit trigger: tcp_reordering-adapted, with RFC
+        5827 Early Retransmit for short flights."""
+        threshold = self.reordering_threshold
+        if self.config.early_retransmit and threshold == self.config.dupack_threshold:
+            # ER only applies while no reordering has been observed
+            # (Linux disables it once the reordering metric grows).
+            outstanding = -(-self.flight_size // MSS)  # ceil division
+            if outstanding < 4:
+                threshold = min(threshold, max(1, outstanding - 1))
+        return threshold
+
+    def _on_dup_ack(self) -> None:
+        self.dup_acks += 1
+        self.dupacks_received += 1
+        # Linux-style trigger: either enough duplicate ACKs, or enough bytes
+        # SACKed above the hole (sacked_out) — a single dupACK whose SACK
+        # block covers a whole GRO-merged segment can start recovery alone.
+        threshold = self._dupack_threshold()
+        triggered = (self.dup_acks >= threshold
+                     or self._sacked_bytes() >= threshold * MSS)
+        if triggered and not self.in_recovery:
+            # Fast retransmit: this is TCP "treating mis-sequenced packets
+            # as a signal of packet loss" — spurious under reordering.
+            self.ssthresh = max(self.flight_size // 2, 2 * MSS)
+            self.cwnd = self.ssthresh + 3 * MSS
+            self.in_recovery = True
+            self.recover = self.snd_nxt
+            self.high_rexmit = self.snd_una
+            self.fast_retransmits += 1
+            if self.sacked:
+                self._sack_retransmit()
+            else:
+                # Classic (SACK-less) fast retransmit of the first segment.
+                self._retransmit(self.snd_una, MSS)
+        elif self.in_recovery:
+            self.cwnd += MSS  # window inflation keeps the pipe full
+            self._sack_retransmit()
+
+    def _dctcp_window_update(self, acked: int, ack: int) -> None:
+        """DCTCP: once per window, estimate the marked fraction and shrink
+        cwnd proportionally (cwnd ← cwnd·(1 − α/2))."""
+        self._window_acked += acked
+        if ack < self._window_end:
+            return
+        if self._window_acked > 0:
+            fraction = min(1.0, self._window_ce / self._window_acked)
+            g = self.config.dctcp_g
+            self.dctcp_alpha += g * (fraction - self.dctcp_alpha)
+            if self._window_ce > 0:
+                reduced = int(self.cwnd * (1.0 - self.dctcp_alpha / 2.0))
+                self.cwnd = max(2 * MSS, reduced)
+                # Marking ends slow start: converge via gentle reductions.
+                self.ssthresh = min(self.ssthresh, self.cwnd)
+        self._window_acked = 0
+        self._window_ce = 0
+        self._window_end = self.snd_nxt
+
+    def _merge_sack(self, start: int, end: int) -> None:
+        """Fold one SACK block into the scoreboard (disjoint, sorted)."""
+        if end <= self.snd_una or end <= start:
+            return
+        start = max(start, self.snd_una)
+        merged = []
+        placed = False
+        for s, e in self.sacked:
+            if e < start or s > end:
+                if not placed and s > end:
+                    merged.append((start, end))
+                    placed = True
+                merged.append((s, e))
+            else:
+                start = min(start, s)
+                end = max(end, e)
+        if not placed:
+            merged.append((start, end))
+        self.sacked = merged
+
+    def _sacked_bytes(self) -> int:
+        return sum(e - s for s, e in self.sacked)
+
+    def _sack_retransmit(self) -> None:
+        """Retransmit scoreboard holes, pipe-limited (simplified RFC 6675).
+
+        Only data below the highest SACKed byte can be inferred lost
+        (IsLost); with an empty scoreboard nothing is known lost and nothing
+        is retransmitted — that restraint is what keeps a *spurious*
+        recovery (reordering mistaken for loss) from snowballing into a
+        retransmission storm.
+        """
+        if not self.sacked:
+            return
+        pipe = self.flight_size - self._sacked_bytes()
+        # The conservative pipe estimate cannot distinguish lost bytes from
+        # in-flight ones, so guarantee NewReno-grade progress: at least one
+        # MSS of retransmission per ACK processed during recovery.
+        budget = max(self.cwnd - pipe, MSS)
+        pos = max(self.high_rexmit, self.snd_una)
+        limit = min(self.recover, self.snd_nxt, self.sacked[-1][1])
+        blocks = iter(self.sacked)
+        block = next(blocks, None)
+        while budget > 0 and pos < limit:
+            # Skip past any SACKed range covering pos.
+            while block is not None and block[1] <= pos:
+                block = next(blocks, None)
+            if block is not None and block[0] <= pos:
+                pos = block[1]
+                continue
+            hole_end = min(block[0] if block is not None else limit, limit)
+            chunk = min(hole_end - pos, self.config.max_burst, budget)
+            if chunk <= 0:
+                break
+            self._emit_burst(pos, chunk,
+                             push=(pos + chunk >= self.data_target),
+                             retransmission=True)
+            pos += chunk
+            budget -= chunk
+        if pos > self.high_rexmit:
+            self.high_rexmit = pos
+
+    def _sample_rtt(self, ack: int) -> None:
+        sent_at = self._send_times.pop(ack, None)
+        # Garbage-collect samples the cumulative ACK has passed.
+        for end in [e for e in self._send_times if e <= ack]:
+            del self._send_times[end]
+        if sent_at is None:
+            return
+        rtt = self._engine.now - sent_at
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt // 2
+        else:
+            err = abs(rtt - self.srtt)
+            self.rttvar = (3 * self.rttvar + err) // 4
+            self.srtt = (7 * self.srtt + rtt) // 8
+
+    # -- transmission --------------------------------------------------------------
+
+    def _usable_window(self) -> int:
+        window = min(self.cwnd, self.peer_rwnd)
+        return self.snd_una + window - self.snd_nxt
+
+    def _try_send(self) -> None:
+        now = self._engine.now
+        while self.snd_nxt < self.data_target:
+            if self.pacing_gbps is not None and now < self._next_send_at:
+                self._schedule_wakeup(self._next_send_at)
+                return
+            avail = self._usable_window()
+            remaining = self.data_target - self.snd_nxt
+            burst = min(avail, self.config.max_burst, remaining)
+            if burst < min(MSS, remaining):
+                break  # window closed (ACKs will reopen it) or runt mid-stream
+            self._emit_burst(self.snd_nxt, burst, push=(burst == remaining))
+            self.snd_nxt += burst
+            self._send_times[self.snd_nxt] = now
+            if self.pacing_gbps is not None:
+                tx_ns = round(burst * 8 / self.pacing_gbps)
+                self._next_send_at = max(now, self._next_send_at) + tx_ns
+
+    def _schedule_wakeup(self, at: int) -> None:
+        if self._send_wakeup is not None and getattr(self._send_wakeup, "active", False):
+            return
+        self._send_wakeup = self._engine.schedule_at(at, self._wakeup_fire)
+
+    def _wakeup_fire(self) -> None:
+        self._send_wakeup = None
+        self._try_send()
+
+    def _emit_burst(self, seq: int, nbytes: int, *, push: bool,
+                    retransmission: bool = False) -> None:
+        now = self._engine.now
+        packets = segment_tso_burst(
+            self.flow,
+            seq,
+            nbytes,
+            sent_at=now,
+            options=self.options,
+            push_last=push,
+            is_retransmission=retransmission,
+        )
+        for packet in packets:
+            packet.priority = (
+                self.priority_fn(packet) if self.priority_fn is not None
+                else PRIORITY_LOW
+            )
+            self._host.transmit(packet)
+        self.bursts_sent += 1
+        self.packets_sent += len(packets)
+        if seq + nbytes > self.high_sent:
+            self.high_sent = seq + nbytes
+        if retransmission:
+            self.retransmitted_packets += len(packets)
+        self._arm_rto(only_if_unarmed=True)
+
+    def _retransmit(self, seq: int, nbytes: int) -> None:
+        nbytes = min(nbytes, self.snd_nxt - seq)
+        if nbytes <= 0:
+            return
+        self._emit_burst(seq, nbytes,
+                         push=(seq + nbytes >= self.data_target),
+                         retransmission=True)
+
+    # -- RTO --------------------------------------------------------------------
+
+    def _rto_value(self) -> int:
+        if self.srtt is None:
+            base = 2 * self.config.initial_rtt
+        else:
+            base = self.srtt + 4 * self.rttvar
+        base = max(self.config.min_rto, min(base, self.config.max_rto))
+        return min(base * self._rto_backoff, self.config.max_rto)
+
+    def _arm_rto(self, only_if_unarmed: bool = False) -> None:
+        if only_if_unarmed and self._rto_timer.armed:
+            return
+        self._rto_timer.arm_after(self._rto_value())
+
+    def _on_rto(self) -> None:
+        if self.flight_size <= 0:
+            return
+        self.rtos += 1
+        self.ssthresh = max(self.flight_size // 2, 2 * MSS)
+        self.cwnd = MSS
+        self.in_recovery = False
+        self.dup_acks = 0
+        self._rto_backoff = min(self._rto_backoff * 2, 64)
+        # Go-back-N: pull the send pointer back so everything unacked is
+        # retransmitted as the window reopens (slow start from one MSS).
+        self._send_times.clear()
+        self.high_rexmit = self.snd_una
+        chunk = min(MSS, self.data_target - self.snd_una)
+        if chunk > 0:
+            self.snd_nxt = self.snd_una + chunk
+            self._emit_burst(self.snd_una, chunk,
+                             push=(self.snd_una + chunk >= self.data_target),
+                             retransmission=True)
+        else:
+            self.snd_nxt = self.snd_una
+        self._arm_rto()
+
+    def close(self) -> None:
+        """Unregister and stop timers (experiment teardown)."""
+        self._rto_timer.cancel()
+        self._host.unregister_handler(self.flow.reversed())

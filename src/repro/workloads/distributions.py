@@ -1,0 +1,93 @@
+"""Empirical datacenter flow-size distributions.
+
+The paper's workload context ("most datacenter flows are short, lasting
+only a few round-trip times [6]", §4.3) comes from the measurement studies
+behind DCTCP.  This module provides the two canonical empirical CDFs those
+studies popularised — *web search* (DCTCP, Alizadeh et al.) and *data
+mining* (VL2, Greenberg et al.) — as samplable distributions for workload
+generators, plus a generic piecewise-linear CDF sampler.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Sequence, Tuple
+
+#: (bytes, cumulative probability) knots of the DCTCP web-search workload.
+WEB_SEARCH_CDF: Tuple[Tuple[int, float], ...] = (
+    (6_000, 0.15),
+    (13_000, 0.20),
+    (19_000, 0.30),
+    (33_000, 0.40),
+    (53_000, 0.53),
+    (133_000, 0.60),
+    (667_000, 0.70),
+    (1_333_000, 0.80),
+    (3_333_000, 0.90),
+    (6_667_000, 0.97),
+    (20_000_000, 1.00),
+)
+
+#: (bytes, cumulative probability) knots of the VL2 data-mining workload.
+DATA_MINING_CDF: Tuple[Tuple[int, float], ...] = (
+    (100, 0.50),
+    (1_000, 0.60),
+    (10_000, 0.70),
+    (30_000, 0.77),
+    (100_000, 0.80),
+    (1_000_000, 0.90),
+    (10_000_000, 0.95),
+    (100_000_000, 0.98),
+    (1_000_000_000, 1.00),
+)
+
+
+class EmpiricalSizeDistribution:
+    """Inverse-CDF sampling over a piecewise-linear empirical CDF."""
+
+    def __init__(self, cdf: Sequence[Tuple[int, float]]):
+        if not cdf:
+            raise ValueError("need at least one CDF knot")
+        previous_p = 0.0
+        previous_size = 0
+        for size, p in cdf:
+            if not 0.0 < p <= 1.0:
+                raise ValueError(f"probability {p} out of (0, 1]")
+            if p < previous_p or size <= previous_size:
+                raise ValueError("CDF knots must be strictly increasing")
+            previous_p, previous_size = p, size
+        if abs(cdf[-1][1] - 1.0) > 1e-9:
+            raise ValueError("CDF must end at probability 1.0")
+        self._sizes: List[int] = [size for size, _ in cdf]
+        self._probs: List[float] = [p for _, p in cdf]
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one flow size in bytes."""
+        u = rng.random()
+        index = bisect.bisect_left(self._probs, u)
+        if index >= len(self._probs):
+            index = len(self._probs) - 1
+        high_size, high_p = self._sizes[index], self._probs[index]
+        if index == 0:
+            low_size, low_p = 0, 0.0
+        else:
+            low_size, low_p = self._sizes[index - 1], self._probs[index - 1]
+        if high_p == low_p:
+            return high_size
+        frac = (u - low_p) / (high_p - low_p)
+        return max(1, round(low_size + frac * (high_size - low_size)))
+
+    def mean(self) -> float:
+        """Expected flow size under the piecewise-linear interpolation."""
+        total = 0.0
+        low_size, low_p = 0, 0.0
+        for size, p in zip(self._sizes, self._probs):
+            total += (p - low_p) * (low_size + size) / 2.0
+            low_size, low_p = size, p
+        return total
+
+
+#: Ready-made instances of the two canonical workloads.
+WEB_SEARCH = EmpiricalSizeDistribution(WEB_SEARCH_CDF)
+DATA_MINING = EmpiricalSizeDistribution(DATA_MINING_CDF)

@@ -1,0 +1,116 @@
+"""Experiment-support helpers: snapshots, HostCpu, unit conversions."""
+
+import pytest
+
+from repro.core import FlushReason, GroStats, JugglerConfig, JugglerGRO
+from repro.experiments.common import (
+    HostCpu,
+    StatsSnapshot,
+    gbps,
+    merged_stats,
+)
+from repro.net import FiveTuple
+from repro.sim import Engine
+
+FLOW = FiveTuple(1, 2, 1000, 80)
+
+
+def stats_with(packets, segments, mtus, ooo=0):
+    stats = GroStats()
+    stats.packets = packets
+    stats.segments = segments
+    stats.batched_mtus = mtus
+    stats.ooo_segments = ooo
+    return stats
+
+
+def test_snapshot_diffs():
+    stats = stats_with(100, 10, 100)
+    snap = StatsSnapshot.of(stats)
+    stats.packets += 50
+    stats.segments += 2
+    stats.batched_mtus += 50
+    stats.ooo_segments += 1
+    assert snap.packets_since(stats) == 50
+    assert snap.segments_since(stats) == 2
+    assert snap.batching_since(stats) == 25.0
+    assert snap.ooo_since(stats) == 1
+
+
+def test_snapshot_batching_zero_segments():
+    stats = stats_with(10, 5, 50)
+    snap = StatsSnapshot.of(stats)
+    assert snap.batching_since(stats) == 0.0
+
+
+def test_merged_stats_sums_engines():
+    a = JugglerGRO(lambda s: None, JugglerConfig())
+    b = JugglerGRO(lambda s: None, JugglerConfig())
+    a.stats.packets = 5
+    b.stats.packets = 7
+    a.stats.segments = 1
+    b.stats.segments = 2
+    merged = merged_stats([a, b])
+    assert merged.packets == 12
+    assert merged.segments == 3
+
+
+def test_host_cpu_windows():
+    engine = Engine()
+    cpu = HostCpu(engine)
+    cpu.mark(0)
+    cpu.rx_meter.charge(500)
+    cpu.app_core.meter.charge(250)
+    assert cpu.rx_utilization(1000) == 0.5
+    assert cpu.app_utilization(1000) == 0.25
+
+
+def test_host_cpu_attach():
+    from repro.core import StandardGRO
+    from repro.fabric import Host
+
+    engine = Engine()
+    cpu = HostCpu(engine)
+    host = Host(engine, 1, lambda d: StandardGRO(d))
+    cpu.attach(host)
+    assert host.app_core is cpu.app_core
+
+
+def test_gbps_conversion():
+    assert gbps(1250, 1000) == pytest.approx(10.0)
+    assert gbps(100, 0) == 0.0
+
+
+def test_experiment_modules_render_strings():
+    """Every experiment module's render() produces printable text."""
+    from repro.experiments import (
+        ablations,
+        cpu_overhead,
+        fig12_inseq_timeout,
+        fig13_ofo_timeout_throughput,
+        fig14_ofo_timeout_latency,
+        sec512_latency_overhead,
+    )
+
+    r12 = fig12_inseq_timeout.Fig12Result()
+    r12.points.append(fig12_inseq_timeout.Fig12Point(250, 0, 25.0, 50.0,
+                                                     40.0, 9.5))
+    assert "batching" in fig12_inseq_timeout.render(r12)
+
+    r13 = fig13_ofo_timeout_throughput.Fig13Result()
+    r13.points.append(fig13_ofo_timeout_throughput.Fig13Point(
+        250, 100, 9.4, 0, 2))
+    assert "throughput" in fig13_ofo_timeout_throughput.render(r13)
+
+    r14 = fig14_ofo_timeout_latency.Fig14Result()
+    r14.points.append(fig14_ofo_timeout_latency.Fig14Point(
+        250, 100, 900.0, 400.0, 100))
+    assert "latency" in fig14_ofo_timeout_latency.render(r14)
+
+    point = ablations.AblationPoint("x", 0.1, 0.0, 0, 0, 9.0)
+    assert "x" in ablations.render([point])
+
+    sp = sec512_latency_overhead.Sec512Point(
+        __import__("repro.harness.experiment",
+                   fromlist=["GroKind"]).GroKind.JUGGLER, 11.0, 12.0, 100)
+    assert "11" in sec512_latency_overhead.render([sp])

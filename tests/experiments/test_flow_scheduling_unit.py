@@ -1,0 +1,39 @@
+"""Unit-level checks on the flow-scheduling extension experiment."""
+
+import pytest
+
+from repro.experiments.flow_scheduling import (
+    SchedulingParams,
+    SchedulingPoint,
+    render,
+    run_config,
+)
+from repro.harness.experiment import GroKind
+
+
+def test_render_produces_rows():
+    point = SchedulingPoint("pias/juggler", 150.0, 260.0, 5.1, 100, 20)
+    text = render([point])
+    assert "pias/juggler" in text
+    assert "mice_p99_us" in text
+
+
+def test_params_defaults_sane():
+    params = SchedulingParams()
+    assert params.mice_bytes < params.threshold_bytes < params.elephant_bytes
+    assert 0.0 < params.mice_fraction < 1.0
+    assert 0.0 < params.load < 1.0
+
+
+def test_tiny_run_completes_flows():
+    params = SchedulingParams(warmup_ms=3, measure_ms=8)
+    point = run_config(params, kind=GroKind.JUGGLER, prioritize=True)
+    assert point.mice_done > 10
+    assert point.mice_p50_us > 0
+    assert point.label == "pias/juggler"
+
+
+def test_prioritisation_label():
+    params = SchedulingParams(warmup_ms=3, measure_ms=6)
+    point = run_config(params, kind=GroKind.VANILLA, prioritize=False)
+    assert point.label == "none/vanilla"

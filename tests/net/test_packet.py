@@ -1,0 +1,62 @@
+"""Packet header model."""
+
+from repro.net import FiveTuple, Packet, TcpFlags
+from repro.net.constants import ETHERNET_OVERHEAD, HEADER_LEN
+
+FLOW = FiveTuple(1, 2, 1000, 80)
+
+
+def test_end_seq():
+    assert Packet(FLOW, 100, 1460).end_seq == 1560
+
+
+def test_wire_len_includes_all_overheads():
+    packet = Packet(FLOW, 0, 1460)
+    assert packet.wire_len == 1460 + HEADER_LEN + ETHERNET_OVERHEAD
+
+
+def test_pure_ack_detection():
+    ack = Packet(FLOW, 0, 0, flags=TcpFlags.ACK)
+    assert ack.is_pure_ack
+    data = Packet(FLOW, 0, 100, flags=TcpFlags.ACK)
+    assert not data.is_pure_ack
+
+
+def test_packet_ids_unique():
+    a, b = Packet(FLOW, 0, 100), Packet(FLOW, 0, 100)
+    assert a.pid != b.pid
+
+
+def test_merge_signature_matches_for_plain_packets():
+    a = Packet(FLOW, 0, 1460)
+    b = Packet(FLOW, 1460, 1460)
+    assert a.merge_signature() == b.merge_signature()
+
+
+def test_merge_signature_differs_on_options():
+    a = Packet(FLOW, 0, 1460, options=("ts", 1))
+    b = Packet(FLOW, 1460, 1460, options=("ts", 2))
+    assert a.merge_signature() != b.merge_signature()
+
+
+def test_merge_signature_differs_on_ce_mark():
+    a = Packet(FLOW, 0, 1460, ce=True)
+    b = Packet(FLOW, 1460, 1460, ce=False)
+    assert a.merge_signature() != b.merge_signature()
+
+
+def test_merge_signature_ignores_psh():
+    # PSH ends a batch but does not make headers unmergeable by itself.
+    a = Packet(FLOW, 0, 1460, flags=TcpFlags.ACK)
+    b = Packet(FLOW, 1460, 1460, flags=TcpFlags.ACK | TcpFlags.PSH)
+    assert a.merge_signature() == b.merge_signature()
+
+
+def test_merge_signature_differs_on_other_flags():
+    a = Packet(FLOW, 0, 1460, flags=TcpFlags.ACK)
+    b = Packet(FLOW, 1460, 1460, flags=TcpFlags.ACK | TcpFlags.URG)
+    assert a.merge_signature() != b.merge_signature()
+
+
+def test_ce_bytes_defaults_to_zero():
+    assert Packet(FLOW, 0, 0).ce_bytes == 0

@@ -1,0 +1,156 @@
+"""NIC model: ring buffer, interrupt coalescing, NAPI, RSS."""
+
+import pytest
+
+from repro.core import JugglerConfig, JugglerGRO, StandardGRO
+from repro.net import FiveTuple, MSS, Packet
+from repro.nic import Nic, NicConfig, RxQueue
+from repro.sim import Engine, US
+
+FLOW = FiveTuple(1, 2, 1000, 80)
+
+
+def pkt(seq, flow=FLOW):
+    return Packet(flow, seq, MSS)
+
+
+def make_queue(engine, coalesce_ns=125 * US, coalesce_frames=0, ring_size=64):
+    out = []
+    gro = JugglerGRO(out.append, JugglerConfig())
+    queue = RxQueue(engine, gro, coalesce_ns=coalesce_ns,
+                    coalesce_frames=coalesce_frames, ring_size=ring_size)
+    return queue, out
+
+
+def test_interrupt_fires_after_coalescing_period():
+    engine = Engine()
+    queue, _ = make_queue(engine, coalesce_ns=100 * US)
+    queue.enqueue(pkt(0))
+    engine.run_until(99 * US)
+    assert queue.backlog == 1
+    engine.run_until(101 * US)
+    assert queue.backlog == 0
+    assert queue.polls == 1
+
+
+def test_packets_accumulate_during_coalescing():
+    engine = Engine()
+    queue, out = make_queue(engine, coalesce_ns=100 * US)
+    for i in range(5):
+        queue.enqueue(pkt(i * MSS))
+    engine.run_until(200 * US)
+    assert queue.delivered == 5
+    # All five arrived in one poll and merged into one segment.
+    assert len(out) == 1
+    assert out[0].mtus == 5
+
+
+def test_frame_threshold_fires_early():
+    engine = Engine()
+    queue, _ = make_queue(engine, coalesce_ns=1000 * US, coalesce_frames=3)
+    queue.enqueue(pkt(0))
+    engine.run_until(10 * US)
+    assert queue.backlog == 1  # below threshold: still waiting
+    queue.enqueue(pkt(MSS))
+    queue.enqueue(pkt(2 * MSS))  # hits the frame trigger
+    engine.run_until(11 * US)
+    assert queue.backlog == 0
+    assert queue.polls == 1
+
+
+def test_ring_overflow_drops():
+    engine = Engine()
+    queue, _ = make_queue(engine, ring_size=4)
+    for i in range(6):
+        queue.enqueue(pkt(i * MSS))
+    assert queue.dropped == 2
+    assert queue.backlog == 4
+
+
+def test_hrtimer_flushes_between_polls():
+    engine = Engine()
+    out = []
+    gro = JugglerGRO(out.append, JugglerConfig(inseq_timeout=15 * US,
+                                               ofo_timeout=50 * US))
+    queue = RxQueue(engine, gro, coalesce_ns=10 * US)
+    queue.enqueue(pkt(0))
+    queue.enqueue(pkt(2 * MSS))  # hole at MSS: ofo deadline armed
+    engine.run_until(11 * US)  # poll at 10us; nothing expired yet
+    assert out == []
+    engine.run_until(26 * US)  # hrtimer fires the inseq timeout (10+15us)
+    assert len(out) == 1
+    # The hole reached the queue head at the 25us flush; its ofo clock runs
+    # from there, so the hrtimer fires the ofo timeout at 75us.
+    engine.run_until(74 * US)
+    assert len(out) == 1
+    engine.run_until(76 * US)
+    assert len(out) == 2
+    assert gro.loss_recovery_list_len == 1
+
+
+def test_received_at_stamped():
+    engine = Engine()
+    queue, _ = make_queue(engine)
+    engine.schedule(42, queue.enqueue, pkt(0))
+    engine.run_until(50)
+    # Ring still holds it; arrival time stamped at enqueue.
+    p = queue._ring[0]
+    assert p.received_at == 42
+
+
+def test_drain_flushes_everything():
+    engine = Engine()
+    queue, out = make_queue(engine)
+    queue.enqueue(pkt(0))
+    queue.enqueue(pkt(2 * MSS))
+    queue.drain()
+    assert queue.backlog == 0
+    assert sum(s.mtus for s in out) == 2
+
+
+def test_nic_rss_pins_flow_to_one_queue():
+    engine = Engine()
+    delivered = []
+    nic = Nic(engine, delivered.append,
+              lambda d: StandardGRO(d), NicConfig(num_queues=8))
+    flows = [FiveTuple(i, 2, 5000 + i, 80) for i in range(32)]
+    for flow in flows:
+        for i in range(4):
+            assert nic.queue_for(Packet(flow, i * MSS, MSS)) is \
+                nic.queue_for(Packet(flow, 0, MSS))
+
+
+def test_nic_spreads_flows_across_queues():
+    engine = Engine()
+    nic = Nic(engine, lambda s: None,
+              lambda d: StandardGRO(d), NicConfig(num_queues=4))
+    queues = {nic.queue_for(Packet(FiveTuple(i, 2, 5000 + i, 80), 0, MSS))
+              for i in range(64)}
+    assert len(queues) == 4
+
+
+def test_nic_each_queue_gets_own_gro():
+    engine = Engine()
+    nic = Nic(engine, lambda s: None,
+              lambda d: StandardGRO(d), NicConfig(num_queues=3))
+    gros = {id(q.gro) for q in nic.queues}
+    assert len(gros) == 3
+
+
+def test_nic_config_validation():
+    with pytest.raises(ValueError):
+        NicConfig(num_queues=0)
+    with pytest.raises(ValueError):
+        NicConfig(coalesce_ns=-1)
+    with pytest.raises(ValueError):
+        NicConfig(ring_size=0)
+
+
+def test_nic_dropped_aggregates_queues():
+    engine = Engine()
+    nic = Nic(engine, lambda s: None,
+              lambda d: StandardGRO(d),
+              NicConfig(num_queues=1, ring_size=2))
+    for i in range(5):
+        nic.receive(pkt(i * MSS))
+    assert nic.dropped == 3

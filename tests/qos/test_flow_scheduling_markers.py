@@ -1,0 +1,79 @@
+"""SRPT/PIAS packet markers."""
+
+import pytest
+
+from repro.net import FiveTuple, MSS, Packet
+from repro.net.constants import PRIORITY_HIGH, PRIORITY_LOW
+from repro.qos import PiasMarker, SrptMarker
+from repro.sim import Engine
+from repro.tcp import TcpConfig
+from repro.tcp.sender import TcpSender
+
+FLOW = FiveTuple(0, 1, 1000, 80)
+
+
+class NullHost:
+    def register_handler(self, flow, handler):
+        pass
+
+    def unregister_handler(self, flow):
+        pass
+
+    def transmit(self, packet):
+        pass
+
+
+def pkt(seq):
+    return Packet(FLOW, seq, MSS)
+
+
+def test_pias_first_bytes_high_then_demoted():
+    marker = PiasMarker(threshold_bytes=10 * MSS)
+    assert marker.priority_fn(pkt(0)) == PRIORITY_HIGH
+    assert marker.priority_fn(pkt(9 * MSS)) == PRIORITY_HIGH
+    assert marker.priority_fn(pkt(10 * MSS)) == PRIORITY_LOW
+    assert marker.priority_fn(pkt(100 * MSS)) == PRIORITY_LOW
+    assert marker.high_marked == 2 and marker.low_marked == 2
+
+
+def test_pias_retransmission_keeps_offset_class():
+    marker = PiasMarker(threshold_bytes=10 * MSS)
+    retx = Packet(FLOW, 50 * MSS, MSS, is_retransmission=True)
+    assert marker.priority_fn(retx) == PRIORITY_LOW
+
+
+def test_pias_validates_threshold():
+    with pytest.raises(ValueError):
+        PiasMarker(-1)
+
+
+def test_srpt_promotes_near_completion():
+    sender = TcpSender(Engine(), NullHost(), FLOW, TcpConfig())
+    sender.send(100 * MSS)
+    marker = SrptMarker(sender, threshold_bytes=10 * MSS)
+    assert marker.priority_fn(pkt(0)) == PRIORITY_LOW
+    assert marker.priority_fn(pkt(89 * MSS)) == PRIORITY_LOW
+    assert marker.priority_fn(pkt(91 * MSS)) == PRIORITY_HIGH
+    assert marker.priority_fn(pkt(99 * MSS)) == PRIORITY_HIGH
+
+
+def test_srpt_tracks_growing_target():
+    sender = TcpSender(Engine(), NullHost(), FLOW, TcpConfig())
+    sender.send(20 * MSS)
+    marker = SrptMarker(sender, threshold_bytes=5 * MSS)
+    assert marker.priority_fn(pkt(16 * MSS)) == PRIORITY_HIGH
+    sender.send(20 * MSS)  # more data queued: no longer near completion
+    assert marker.priority_fn(pkt(16 * MSS)) == PRIORITY_LOW
+
+
+def test_srpt_validates_threshold():
+    sender = TcpSender(Engine(), NullHost(), FLOW, TcpConfig())
+    with pytest.raises(ValueError):
+        SrptMarker(sender, -5)
+
+
+def test_whole_short_flow_rides_high_priority():
+    """Mice below the threshold never touch the low-priority queue."""
+    marker = PiasMarker(threshold_bytes=100_000)
+    picks = {marker.priority_fn(pkt(i * MSS)) for i in range(30)}
+    assert picks == {PRIORITY_HIGH}

@@ -1,0 +1,61 @@
+"""Seeded RNG registry and time formatting."""
+
+from repro.sim import NS, US, MS, SEC, RngRegistry, format_time
+
+
+def test_time_unit_ratios():
+    assert US == 1_000 * NS
+    assert MS == 1_000 * US
+    assert SEC == 1_000 * MS
+
+
+def test_format_time_picks_readable_units():
+    assert format_time(5) == "5ns"
+    assert format_time(1_500) == "1.500us"
+    assert format_time(250 * US) == "250.000us"
+    assert format_time(3 * MS) == "3.000ms"
+    assert format_time(2 * SEC) == "2.000s"
+
+
+def test_format_time_negative():
+    assert format_time(-1_500) == "-1.500us"
+
+
+def test_same_seed_same_stream():
+    a = RngRegistry(7).stream("spray")
+    b = RngRegistry(7).stream("spray")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_independent_streams():
+    reg = RngRegistry(7)
+    a = reg.stream("a")
+    b = reg.stream("b")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_stream_identity_cached():
+    reg = RngRegistry(1)
+    assert reg.stream("x") is reg.stream("x")
+
+
+def test_creation_order_does_not_matter():
+    reg1 = RngRegistry(3)
+    reg1.stream("first")
+    late = reg1.stream("second").random()
+    reg2 = RngRegistry(3)
+    early = reg2.stream("second").random()
+    assert late == early
+
+
+def test_fork_derives_independent_registry():
+    root = RngRegistry(9)
+    child = root.fork("host0")
+    assert child.seed != root.seed
+    assert child.stream("x").random() != root.stream("x").random()
+
+
+def test_fork_deterministic():
+    a = RngRegistry(9).fork("host0").stream("x").random()
+    b = RngRegistry(9).fork("host0").stream("x").random()
+    assert a == b
