@@ -5,31 +5,36 @@ Feeds a hand-crafted packet arrival sequence into a bare JugglerGRO engine
 and narrates every buffering decision, flush (and its Table 2 reason), and
 phase transition — the exact walks the paper's Figures 6 and 7 illustrate.
 
+The narration is driven by the ``repro.trace`` subsystem: a Tracer with a
+CallbackSink is attached to the engine, and the engine's own FLUSH events
+feed the printout — no monkey-patching of engine internals.
+
 Run:  python examples/reordering_microscope.py
 """
 
-from repro.core import FlushReason, JugglerConfig, JugglerGRO
+from repro.core import JugglerConfig, JugglerGRO
 from repro.net import FiveTuple, MSS, Packet
 from repro.sim import US
+from repro.trace import CallbackSink, EventKind, Tracer
 
 FLOW = FiveTuple(1, 2, 1000, 80)
 
 
 class Microscope:
-    """Wraps an engine to narrate everything it does."""
+    """Narrates a JugglerGRO engine through its trace events."""
 
     def __init__(self):
         config = JugglerConfig(inseq_timeout=15 * US, ofo_timeout=50 * US)
         self.gro = JugglerGRO(lambda segment: None, config)
-        original = self.gro._deliver_segment
+        tracer = Tracer([CallbackSink(self._narrate)],
+                        kinds={EventKind.FLUSH})
+        self.gro.attach_tracer(tracer)
 
-        def narrate(segment, reason, now):
-            print(f"    {now / 1000:7.1f}us  FLUSH [{segment.seq // MSS}"
-                  f"..{segment.end_seq // MSS}) x{segment.mtus} MTU "
-                  f"({reason.value})")
-            original(segment, reason, now)
-
-        self.gro._deliver_segment = narrate
+    @staticmethod
+    def _narrate(event):
+        print(f"    {event.ts / 1000:7.1f}us  FLUSH [{event.seq // MSS}"
+              f"..{event.end_seq // MSS}) x{event.mtus} MTU "
+              f"({event.reason.value})")
 
     def packet(self, index, now_us, note=""):
         print(f"    {now_us:7.1f}us  packet #{index} arrives  {note}")

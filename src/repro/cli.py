@@ -6,6 +6,8 @@
     juggler-repro fig12
     juggler-repro fig20 ablations
     juggler-repro all
+    juggler-repro trace fig12                    # Chrome trace -> Perfetto
+    juggler-repro trace fig12 --format jsonl --events flush,phase
 """
 
 from __future__ import annotations
@@ -126,8 +128,84 @@ EXPERIMENTS: Dict[str, tuple] = {
 }
 
 
+def run_trace(argv) -> int:
+    """``juggler-repro trace``: run one experiment with tracing enabled.
+
+    Installs a process-wide tracer (see :mod:`repro.trace.runtime`) so every
+    engine, NIC queue and TCP endpoint the experiment builds picks it up,
+    then dumps the artifact: a Chrome ``trace_event`` file (open it in
+    Perfetto or ``chrome://tracing``) or a JSONL event log, plus a metrics
+    snapshot.
+    """
+    from repro.trace import (
+        ChromeTraceSink,
+        EventKind,
+        JsonlSink,
+        Tracer,
+        runtime,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="juggler-repro trace",
+        description="Run one experiment with structured tracing enabled "
+                    "and dump the trace artifact.",
+    )
+    parser.add_argument("experiment", metavar="EXPERIMENT",
+                        help="experiment name (see 'juggler-repro list')")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: trace_<experiment>.<ext>)")
+    parser.add_argument("--format", choices=("chrome", "jsonl"),
+                        default="chrome",
+                        help="chrome trace_event JSON (default) or JSONL")
+    parser.add_argument(
+        "--events", default="all",
+        help="comma-separated event kinds to record "
+             f"({', '.join(k.value for k in EventKind)}), or 'all'")
+    args = parser.parse_args(argv)
+
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment: {args.experiment}", file=sys.stderr)
+        return 2
+
+    if args.events == "all":
+        kinds = None
+    else:
+        try:
+            kinds = {EventKind(k.strip()) for k in args.events.split(",")}
+        except ValueError as exc:
+            print(f"unknown event kind: {exc}", file=sys.stderr)
+            return 2
+
+    out = args.out
+    if out is None:
+        ext = "json" if args.format == "chrome" else "jsonl"
+        out = f"trace_{args.experiment}.{ext}"
+    sink = ChromeTraceSink(out) if args.format == "chrome" else JsonlSink(out)
+    tracer = Tracer([sink], kinds=kinds)
+
+    runner, description = EXPERIMENTS[args.experiment]
+    print(f"\n=== {args.experiment}: {description} (tracing) ===")
+    started = time.time()
+    with runtime.tracing(tracer):
+        output = runner()
+    tracer.close()
+    print(output)
+    print(f"({time.time() - started:.1f}s)")
+
+    print(f"\ntrace written to {out} ({tracer.events_emitted} events)")
+    for kind, count in sorted(tracer.by_kind.items(),
+                              key=lambda kv: kv[0].value):
+        print(f"  {kind.value:15s} {count}")
+    print("\nmetrics snapshot:")
+    print(tracer.metrics.render())
+    return 0
+
+
 def main(argv=None) -> int:
     """Entry point for the ``juggler-repro`` console script."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "trace":
+        return run_trace(argv[1:])
     parser = argparse.ArgumentParser(
         prog="juggler-repro",
         description="Run reproduced experiments from the Juggler paper "
@@ -146,6 +224,8 @@ def main(argv=None) -> int:
         for name, (_, description) in EXPERIMENTS.items():
             print(f"  {name:12s} {description}")
         print("  all          run everything")
+        print("run 'juggler-repro trace EXPERIMENT' to record a trace "
+              "artifact (see docs/observability.md)")
         return 0
 
     names = (list(EXPERIMENTS) if args.experiments == ["all"]

@@ -17,6 +17,8 @@ from repro.core.stats import GroStats
 from repro.cpu.accounting import GroCpuAccountant, NullAccountant
 from repro.net.packet import Packet
 from repro.net.segment import Segment
+from repro.trace import runtime as trace_runtime
+from repro.trace.tracer import Tracer
 
 DeliverFn = Callable[[Segment], None]
 
@@ -32,6 +34,15 @@ class GroEngine(abc.ABC):
         self.deliver = deliver
         self.accountant = accountant if accountant is not None else NullAccountant()
         self.stats = GroStats()
+        #: None = tracing disabled; hot paths guard on this before emitting.
+        self.tracer: Optional[Tracer] = trace_runtime.current()
+        if self.tracer is not None:
+            index = self.tracer.component_index("gro")
+            self.stats.bind(self.tracer.metrics, prefix=f"gro{index}")
+
+    def attach_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Enable (or disable, with None) tracing on a built engine."""
+        self.tracer = tracer
 
     @abc.abstractmethod
     def receive(self, packet: Packet, now: int) -> None:
@@ -61,6 +72,10 @@ class GroEngine(abc.ABC):
             segment.flow, segment.seq, segment.end_seq, segment.mtus, reason
         )
         self.accountant.on_flush_segment(segment)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.flush(now, segment.flow, segment.seq, segment.end_seq,
+                         segment.mtus, reason)
         self.deliver(segment)
 
     def _deliver_packet(self, packet: Packet, reason: FlushReason, now: int) -> None:

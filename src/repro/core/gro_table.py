@@ -28,6 +28,9 @@ class GroTable:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        #: Optional :class:`~repro.trace.tracer.Tracer` for phase events;
+        #: set by the owning engine, None when tracing is disabled.
+        self.tracer = None
         self._flows: Dict[FiveTuple, FlowEntry] = {}
         self._lists: Dict[str, Dict[FiveTuple, FlowEntry]] = {
             "active": {},
@@ -77,16 +80,20 @@ class GroTable:
         self._flows[entry.key] = entry
         self._lists[entry.phase.list_name][entry.key] = entry
 
-    def move(self, entry: FlowEntry, phase: Phase) -> None:
+    def move(self, entry: FlowEntry, phase: Phase, now: int = 0) -> None:
         """Transition ``entry`` to ``phase``, re-homing it on the right list.
 
         Moving to the same list re-enqueues at the tail, which implements the
-        FIFO ordering eviction relies on.
+        FIFO ordering eviction relies on.  ``now`` timestamps the phase
+        trace event when tracing is enabled.
         """
-        old_list = self._lists[entry.phase.list_name]
+        old_phase = entry.phase
+        old_list = self._lists[old_phase.list_name]
         old_list.pop(entry.key, None)
         entry.phase = phase
         self._lists[phase.list_name][entry.key] = entry
+        if self.tracer is not None and old_phase is not phase:
+            self.tracer.phase(now, entry.key, old_phase, phase)
 
     def remove(self, entry: FlowEntry) -> None:
         """Drop ``entry`` from the table entirely (eviction / teardown)."""

@@ -40,6 +40,12 @@ class JugglerGRO(GroEngine):
         super().__init__(deliver, accountant)
         self.config = config if config is not None else JugglerConfig()
         self.table = GroTable(self.config.table_capacity)
+        self.table.tracer = self.tracer
+
+    def attach_tracer(self, tracer) -> None:
+        """Enable tracing on engine and table together."""
+        super().attach_tracer(tracer)
+        self.table.tracer = tracer
 
     # -- public state inspection (Figs. 15, 16 sample these) ----------------
 
@@ -81,6 +87,10 @@ class JugglerGRO(GroEngine):
         """Per-packet entry point, called from the NAPI poll loop."""
         self.accountant.on_rx_packet()
         self.accountant.on_gro_packet()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.packet_rx(now, packet.flow, packet.seq, packet.end_seq,
+                             packet.payload_len)
 
         if (packet.payload_len == 0
                 or packet.flow.proto not in self.config.protocols):
@@ -123,6 +133,8 @@ class JugglerGRO(GroEngine):
             entry.phase = Phase.ACTIVE_MERGE
             entry.seq_next = packet.seq
         self.table.add(entry)
+        if self.tracer is not None:
+            self.tracer.phase(now, entry.key, Phase.INITIAL, entry.phase)
         return entry
 
     def _receive_established(self, entry: FlowEntry, packet: Packet, now: int) -> None:
@@ -152,7 +164,7 @@ class JugglerGRO(GroEngine):
 
         if entry.phase is Phase.POST_MERGE:
             # Fresh data after a quiescent period: back to active merging.
-            self.table.move(entry, Phase.ACTIVE_MERGE)
+            self.table.move(entry, Phase.ACTIVE_MERGE, now)
         self._buffer_packet(entry, packet, now)
 
     def _maybe_fill_hole(self, entry: FlowEntry, packet: Packet, now: int) -> None:
@@ -163,7 +175,7 @@ class JugglerGRO(GroEngine):
             and packet.seq <= entry.lost_seq < packet.end_seq
         ):
             entry.lost_seq = None
-            self.table.move(entry, Phase.ACTIVE_MERGE)
+            self.table.move(entry, Phase.ACTIVE_MERGE, now)
 
     def _normalize_queue(self, entry: FlowEntry, now: int) -> None:
         """Restore the invariant that every buffered node starts at or after
@@ -180,7 +192,7 @@ class JugglerGRO(GroEngine):
                 entry.advance_seq_next(node.end_seq)
                 self._deliver_segment(node, FlushReason.RETRANSMISSION, now)
         if not entry.ofo and entry.phase is Phase.ACTIVE_MERGE:
-            self.table.move(entry, Phase.POST_MERGE)
+            self.table.move(entry, Phase.POST_MERGE, now)
 
     def _buffer_packet(self, entry: FlowEntry, packet: Packet, now: int) -> None:
         """Insert into the flow's OOO queue, merging where possible."""
@@ -196,6 +208,9 @@ class JugglerGRO(GroEngine):
         if result.merged:
             self.stats.merges += 1
             self.accountant.on_merge(BatchingMode.FRAGS_ARRAY)
+            if self.tracer is not None:
+                self.tracer.merge(now, entry.key, packet.seq, packet.end_seq,
+                                  result.scanned)
         entry.refresh_hole_state(now)
 
     # -- event-driven flush checks (rows 1-4 of Table 2) ----------------------
@@ -226,7 +241,7 @@ class JugglerGRO(GroEngine):
     def _flush_head(self, entry: FlowEntry, reason: FlushReason, now: int) -> None:
         node = entry.ofo.pop_head()
         if entry.phase is Phase.BUILD_UP:
-            self.table.move(entry, Phase.ACTIVE_MERGE)
+            self.table.move(entry, Phase.ACTIVE_MERGE, now)
         entry.advance_seq_next(node.end_seq)
         entry.flush_timestamp = now
         self._deliver_segment(node, reason, now)
@@ -236,7 +251,7 @@ class JugglerGRO(GroEngine):
         if not entry.ofo and entry.phase is Phase.ACTIVE_MERGE:
             # Queue drained by in-sequence flushing: park on the inactive
             # list, the preferred eviction pool (§4.2.4).
-            self.table.move(entry, Phase.POST_MERGE)
+            self.table.move(entry, Phase.POST_MERGE, now)
 
     # -- timeout checks (rows 5-6 of Table 2) --------------------------------
 
@@ -266,7 +281,7 @@ class JugglerGRO(GroEngine):
         if not run:
             return
         if entry.phase is Phase.BUILD_UP:
-            self.table.move(entry, Phase.ACTIVE_MERGE)
+            self.table.move(entry, Phase.ACTIVE_MERGE, now)
         for node in run:
             entry.advance_seq_next(node.end_seq)
             self._deliver_segment(node, FlushReason.INSEQ_TIMEOUT, now)
@@ -287,7 +302,7 @@ class JugglerGRO(GroEngine):
         entry.flush_timestamp = now
         entry.hole_since = None
         if entry.phase is not Phase.LOSS_RECOVERY:
-            self.table.move(entry, Phase.LOSS_RECOVERY)
+            self.table.move(entry, Phase.LOSS_RECOVERY, now)
 
     def next_deadline(self) -> Optional[int]:
         """Earliest pending inseq/ofo deadline, for arming the hrtimer."""
@@ -308,6 +323,8 @@ class JugglerGRO(GroEngine):
     def _evict(self, entry: FlowEntry, now: int) -> None:
         """Flush all of a victim's packets and drop its state (§4.3)."""
         self.stats.record_eviction(entry.phase)
+        if self.tracer is not None:
+            self.tracer.eviction(now, entry.key, entry.phase)
         for node in entry.ofo.pop_all():
             self._deliver_segment(node, FlushReason.EVICTION, now)
         self.table.remove(entry)

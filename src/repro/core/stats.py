@@ -77,6 +77,19 @@ class GroStats:
         """Account one flow eviction."""
         self.evictions[phase] += 1
 
+    def bind(self, registry, prefix: str = "gro") -> None:
+        """Register these counters as live gauges in a
+        :class:`~repro.trace.metrics.MetricsRegistry` under ``prefix``."""
+        for attr in ("packets", "passthrough_packets", "segments",
+                     "batched_mtus", "ooo_segments", "flows_created",
+                     "nodes_scanned", "merges", "duplicates"):
+            registry.gauge(f"{prefix}.{attr}",
+                           lambda a=attr: getattr(self, a))
+        registry.gauge(f"{prefix}.evictions", lambda: self.total_evictions)
+        registry.gauge(f"{prefix}.batching_extent",
+                       lambda: self.batching_extent)
+        registry.gauge(f"{prefix}.ooo_fraction", lambda: self.ooo_fraction)
+
     @property
     def total_evictions(self) -> int:
         """Evictions across all phases."""

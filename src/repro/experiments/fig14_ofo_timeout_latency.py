@@ -21,7 +21,7 @@ from typing import List
 from repro.core.config import JugglerConfig
 from repro.core.juggler import JugglerGRO
 from repro.fabric.topology import build_netfpga_pair
-from repro.harness.metrics import percentile
+from repro.harness.metrics import percentiles
 from repro.harness.reporting import format_table
 from repro.nic.nic import NicConfig
 from repro.sim.engine import Engine
@@ -96,11 +96,12 @@ def run_cell(params: Fig14Params, reorder_us: int, ofo_us: int) -> Fig14Point:
     engine.run_until(params.duration_ms * MS)
 
     latencies = workload.latencies_ns()
+    p99, p50 = percentiles(latencies, (99, 50))
     return Fig14Point(
         reorder_delay_us=reorder_us,
         ofo_timeout_us=ofo_us,
-        p99_latency_us=percentile(latencies, 99) / US,
-        median_latency_us=percentile(latencies, 50) / US,
+        p99_latency_us=p99 / US,
+        median_latency_us=p50 / US,
         rpcs_completed=len(latencies),
     )
 

@@ -22,7 +22,7 @@ from repro.core.config import JugglerConfig
 from repro.fabric.routing import EcmpRouting, PerPacketRouting, PerTsoRouting
 from repro.fabric.topology import build_clos
 from repro.harness.experiment import GroKind, make_gro_factory
-from repro.harness.metrics import percentile
+from repro.harness.metrics import percentiles
 from repro.harness.reporting import format_table
 from repro.nic.nic import NicConfig
 from repro.sim.engine import Engine
@@ -173,13 +173,15 @@ def run_cell(params: Fig20Params, policy: LbPolicy, load_pct: int) -> Fig20Point
 
     large_lat = [r.latency_ns for r in large.records if r.start_ns >= warmup_cut]
     small_lat = [r.latency_ns for r in small.records if r.start_ns >= warmup_cut]
+    large_p99, large_p50 = percentiles(large_lat, (99, 50))
+    small_p99, small_p50 = percentiles(small_lat, (99, 50))
     return Fig20Point(
         policy=policy,
         load_pct=load_pct,
-        large_p99_ms=percentile(large_lat, 99) / MS,
-        large_p50_ms=percentile(large_lat, 50) / MS,
-        small_p99_us=percentile(small_lat, 99) / US,
-        small_p50_us=percentile(small_lat, 50) / US,
+        large_p99_ms=large_p99 / MS,
+        large_p50_ms=large_p50 / MS,
+        small_p99_us=small_p99 / US,
+        small_p50_us=small_p50 / US,
         large_rpcs=len(large_lat),
         small_rpcs=len(small_lat),
     )

@@ -23,7 +23,7 @@ from typing import List, Optional
 from repro.core.config import JugglerConfig
 from repro.fabric.topology import build_priority_dumbbell
 from repro.harness.experiment import GroKind, make_gro_factory
-from repro.harness.metrics import percentile
+from repro.harness.metrics import percentile, percentiles
 from repro.harness.reporting import format_table
 from repro.nic.nic import NicConfig
 from repro.qos.flow_scheduling import PiasMarker
@@ -129,10 +129,11 @@ def run_config(params: SchedulingParams, *, kind: GroKind,
     elephants = [r.finished - r.started for r in done
                  if r.size == params.elephant_bytes]
     label = f"{'pias' if prioritize else 'none'}/{kind.value}"
+    mice_p50, mice_p99 = percentiles(mice, (50, 99))
     return SchedulingPoint(
         label=label,
-        mice_p50_us=percentile(mice, 50) / US,
-        mice_p99_us=percentile(mice, 99) / US,
+        mice_p50_us=mice_p50 / US,
+        mice_p99_us=mice_p99 / US,
         elephant_p99_ms=percentile(elephants, 99) / MS,
         mice_done=len(mice),
         elephants_done=len(elephants),

@@ -13,7 +13,7 @@ from typing import List
 from repro.core.config import JugglerConfig
 from repro.fabric.topology import build_netfpga_pair
 from repro.harness.experiment import GroKind, make_gro_factory
-from repro.harness.metrics import percentile
+from repro.harness.metrics import percentiles
 from repro.harness.reporting import format_table
 from repro.nic.nic import NicConfig
 from repro.sim.engine import Engine
@@ -62,10 +62,11 @@ def run_kernel(params: Sec512Params, kind: GroKind) -> Sec512Point:
     engine.run_until(params.duration_ms * MS)
 
     latencies = workload.latencies_ns()
+    p50, p99 = percentiles(latencies, (50, 99))
     return Sec512Point(
         kind=kind,
-        median_us=percentile(latencies, 50) / US,
-        p99_us=percentile(latencies, 99) / US,
+        median_us=p50 / US,
+        p99_us=p99 / US,
         rpcs=len(latencies),
     )
 

@@ -6,6 +6,7 @@ from repro.harness.metrics import (
     ThroughputProbe,
     mean,
     percentile,
+    percentiles,
 )
 from repro.harness.reporting import banner, format_row, format_table
 from repro.harness.experiment import GroKind, make_gro_factory
@@ -16,6 +17,7 @@ __all__ = [
     "ThroughputProbe",
     "mean",
     "percentile",
+    "percentiles",
     "banner",
     "format_row",
     "format_table",

@@ -14,13 +14,10 @@ def mean(values: Sequence[float]) -> float:
     return sum(values) / len(values)
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """The q-th percentile (0..100) by linear interpolation; 0.0 if empty."""
-    if not values:
-        return 0.0
+def _interpolate(ordered: Sequence[float], q: float) -> float:
+    """The q-th percentile of an already-sorted, non-empty sequence."""
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {q}")
-    ordered = sorted(values)
     if len(ordered) == 1:
         return float(ordered[0])
     rank = (len(ordered) - 1) * q / 100.0
@@ -28,6 +25,26 @@ def percentile(values: Sequence[float], q: float) -> float:
     high = min(low + 1, len(ordered) - 1)
     frac = rank - low
     return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) by linear interpolation; 0.0 if empty."""
+    if not values:
+        return 0.0
+    return _interpolate(sorted(values), q)
+
+
+def percentiles(values: Sequence[float], qs: Sequence[float]) -> List[float]:
+    """Several percentiles with a single sort.
+
+    Returns one value per entry of ``qs``, in order — report code asking for
+    (p50, p99, ...) of the same samples should use this rather than calling
+    :func:`percentile` repeatedly, which re-sorts per call.
+    """
+    if not values:
+        return [0.0 for _ in qs]
+    ordered = sorted(values)
+    return [_interpolate(ordered, q) for q in qs]
 
 
 class Histogram:
@@ -62,7 +79,13 @@ class Histogram:
 
 
 class Sampler:
-    """Calls ``probe()`` every ``interval_ns`` and keeps (time, value) pairs."""
+    """Calls ``probe()`` every ``interval_ns`` and keeps (time, value) pairs.
+
+    ``into`` optionally mirrors each sample into a registered metric — any
+    object with ``add(ts, value)``, typically a
+    :class:`repro.trace.metrics.Timeseries` from a ``MetricsRegistry`` — so
+    experiment samplers feed the same telemetry namespace as everything else.
+    """
 
     def __init__(
         self,
@@ -71,6 +94,7 @@ class Sampler:
         interval_ns: int,
         *,
         stop_at_ns: Optional[int] = None,
+        into=None,
     ):
         if interval_ns < 1:
             raise ValueError(f"interval must be >= 1 ns, got {interval_ns}")
@@ -78,6 +102,7 @@ class Sampler:
         self._probe = probe
         self.interval_ns = interval_ns
         self.stop_at_ns = stop_at_ns
+        self.into = into
         self.samples: List[Tuple[int, float]] = []
 
     def start(self) -> None:
@@ -88,7 +113,10 @@ class Sampler:
         now = self._engine.now
         if self.stop_at_ns is not None and now > self.stop_at_ns:
             return
-        self.samples.append((now, self._probe()))
+        value = self._probe()
+        self.samples.append((now, value))
+        if self.into is not None:
+            self.into.add(now, value)
         self._engine.schedule(self.interval_ns, self._tick)
 
     def values(self) -> List[float]:

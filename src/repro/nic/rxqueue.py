@@ -18,6 +18,7 @@ from repro.core.base import GroEngine
 from repro.net.packet import Packet
 from repro.sim.engine import Engine
 from repro.sim.timer import Timer
+from repro.trace import runtime as trace_runtime
 
 
 class RxQueue:
@@ -43,6 +44,7 @@ class RxQueue:
         self.ring_size = ring_size
         self.name = name
         self._ring: Deque[Packet] = deque()
+        self.tracer = trace_runtime.current()
         self._irq = Timer(engine, self._interrupt)
         self._hrtimer = Timer(engine, self._hrtimer_fire)
         #: Ring overflows (packet drops at the host).
@@ -74,6 +76,8 @@ class RxQueue:
     def _interrupt(self) -> None:
         """Coalesced interrupt: enter polling mode and drain the ring."""
         now = self._engine.now
+        if self.tracer is not None:
+            self.tracer.timer(now, f"{self.name}.irq")
         while self._ring:
             packet = self._ring.popleft()
             self.delivered += 1
@@ -84,6 +88,8 @@ class RxQueue:
 
     def _hrtimer_fire(self) -> None:
         """Per-table high-resolution timer: timeout checks between polls."""
+        if self.tracer is not None:
+            self.tracer.timer(self._engine.now, f"{self.name}.hrtimer")
         self.gro.check_timeouts(self._engine.now)
         self._rearm_hrtimer()
 

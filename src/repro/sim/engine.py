@@ -12,6 +12,7 @@ import heapq
 from typing import Any, Callable, Optional
 
 from repro.sim.event import Event, EventHandle
+from repro.trace import runtime as trace_runtime
 
 
 class SimulationError(RuntimeError):
@@ -38,6 +39,11 @@ class Engine:
         self._seq = 0
         self._running = False
         self._events_processed = 0
+        tracer = trace_runtime.current()
+        if tracer is not None:
+            # A new engine restarts simulated time: open a new trace epoch
+            # and expose the event-loop totals as gauges.
+            tracer.bind_engine(self)
 
     @property
     def now(self) -> int:

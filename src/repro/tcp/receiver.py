@@ -25,6 +25,7 @@ from repro.net.packet import Packet
 from repro.net.segment import BatchingMode, Segment
 from repro.sim.engine import Engine
 from repro.tcp.config import TcpConfig
+from repro.trace import runtime as trace_runtime
 
 #: Called with (new in-order watermark, now) whenever rcv_nxt advances.
 BytesCallback = Callable[[int, int], None]
@@ -48,6 +49,7 @@ class TcpReceiver:
         self.config = config if config is not None else TcpConfig()
         self.costs = costs
         self.on_bytes = on_bytes
+        self.tracer = trace_runtime.current()
         host.register_handler(flow, self.on_segment)
 
         #: Next expected in-order byte.
@@ -121,6 +123,9 @@ class TcpReceiver:
                 if self._absorb_range(packet.seq, packet.end_seq):
                     advanced = True
         if advanced:
+            if self.tracer is not None:
+                self.tracer.tcp_delivery(self._engine.now, self.flow,
+                                         self.rcv_nxt, segment.payload_len)
             if self.on_bytes is not None:
                 self.on_bytes(self.rcv_nxt, self._engine.now)
         else:

@@ -1,0 +1,141 @@
+"""Typed trace events — the observable vocabulary of the stack.
+
+Each event class is a frozen, slotted dataclass: cheap to construct when
+tracing is on, and never constructed at all when it is off (hot paths guard
+with ``if tracer is not None`` before building one).  Events carry whatever
+domain objects the emitter has in hand (``FiveTuple`` keys, ``FlushReason``
+and ``Phase`` enums); :meth:`TraceEvent.to_dict` flattens them to plain JSON
+types for the serialising sinks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Optional
+
+
+class EventKind(enum.Enum):
+    """The event catalog (see docs/observability.md)."""
+
+    #: A wire packet entered a GRO engine's receive path.
+    PACKET_RX = "packet_rx"
+    #: A packet merged into an existing OOO-queue run.
+    MERGE = "merge"
+    #: A segment left the GRO layer, tagged with its Table 2 reason.
+    FLUSH = "flush"
+    #: A flow entry moved between lifecycle phases (Figure 5).
+    PHASE = "phase"
+    #: A flow was evicted from the gro_table (§4.3).
+    EVICTION = "eviction"
+    #: A timer fired: interrupt coalescing or the per-table hrtimer.
+    TIMER = "timer"
+    #: The TCP receiver's in-order watermark (rcv_nxt) advanced.
+    TCP_DELIVERY = "tcp_delivery"
+
+
+def _plain(value: Any) -> Any:
+    """Flatten a field value to a JSON-serialisable type."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, tuple):  # FiveTuple and friends
+        return str(value)
+    return value
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """Base event: a kind, a timestamp, and (usually) a flow."""
+
+    kind: ClassVar[EventKind]
+
+    #: Nanosecond timestamp (simulation time, epoch-offset by the tracer).
+    ts: int
+
+    def to_dict(self) -> dict:
+        """A plain dict for JSON sinks; enums/tuples become strings."""
+        d: dict = {"event": self.kind.value}
+        for f in fields(self):
+            d[f.name] = _plain(getattr(self, f.name))
+        return d
+
+
+@dataclass(frozen=True, slots=True)
+class PacketRx(TraceEvent):
+    """One packet entered ``receive`` (data and pure-ACK alike)."""
+
+    kind: ClassVar[EventKind] = EventKind.PACKET_RX
+
+    flow: Any
+    seq: int
+    end_seq: int
+    payload_len: int
+
+
+@dataclass(frozen=True, slots=True)
+class Merge(TraceEvent):
+    """One packet merged into an existing OOO-queue run."""
+
+    kind: ClassVar[EventKind] = EventKind.MERGE
+
+    flow: Any
+    seq: int
+    end_seq: int
+    #: Queue nodes examined to find the insert position.
+    scanned: int
+
+
+@dataclass(frozen=True, slots=True)
+class Flush(TraceEvent):
+    """One segment delivered up the stack."""
+
+    kind: ClassVar[EventKind] = EventKind.FLUSH
+
+    flow: Any
+    seq: int
+    end_seq: int
+    mtus: int
+    #: A :class:`~repro.core.flush.FlushReason` (stored as given).
+    reason: Any
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseTransition(TraceEvent):
+    """A flow entry moved between Figure 5 phases."""
+
+    kind: ClassVar[EventKind] = EventKind.PHASE
+
+    flow: Any
+    old_phase: Any
+    new_phase: Any
+
+
+@dataclass(frozen=True, slots=True)
+class Eviction(TraceEvent):
+    """A flow was evicted; ``phase`` is the list the victim came from."""
+
+    kind: ClassVar[EventKind] = EventKind.EVICTION
+
+    flow: Any
+    phase: Any
+
+
+@dataclass(frozen=True, slots=True)
+class TimerFire(TraceEvent):
+    """A NIC-level timer ran: ``source`` names it (e.g. ``rxq.hrtimer``)."""
+
+    kind: ClassVar[EventKind] = EventKind.TIMER
+
+    source: str
+    flow: Optional[Any] = None
+
+
+@dataclass(frozen=True, slots=True)
+class TcpDelivery(TraceEvent):
+    """The TCP receiver absorbed in-order bytes; ``rcv_nxt`` advanced."""
+
+    kind: ClassVar[EventKind] = EventKind.TCP_DELIVERY
+
+    flow: Any
+    rcv_nxt: int
+    nbytes: int

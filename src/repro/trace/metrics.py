@@ -1,0 +1,154 @@
+"""The metrics registry: counters, gauges, histograms and timeseries.
+
+Components *register into* one :class:`MetricsRegistry` instead of growing
+bespoke counter bags: :class:`~repro.core.stats.GroStats` binds its counters
+as gauges, :class:`~repro.sim.engine.Engine` exposes its event-loop totals,
+and :class:`~repro.harness.metrics.Sampler` can feed a :class:`Timeseries`.
+A snapshot of the whole registry is one dict, ready for a report table or a
+JSON artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1)."""
+        self.value += n
+
+
+class Gauge:
+    """A named probe read at snapshot time."""
+
+    __slots__ = ("name", "probe")
+
+    def __init__(self, name: str, probe: Callable[[], float]):
+        self.name = name
+        self.probe = probe
+
+    def read(self) -> float:
+        """Evaluate the probe now."""
+        return self.probe()
+
+
+class HistogramMetric:
+    """Fixed-width histogram of observations (counts per bucket)."""
+
+    __slots__ = ("name", "bin_width", "counts", "total")
+
+    def __init__(self, name: str, bin_width: int = 1):
+        if bin_width < 1:
+            raise ValueError(f"bin_width must be >= 1, got {bin_width}")
+        self.name = name
+        self.bin_width = bin_width
+        self.counts: Dict[int, int] = {}
+        self.total = 0
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        bucket = int(value) // self.bin_width
+        self.counts[bucket] = self.counts.get(bucket, 0) + 1
+        self.total += 1
+
+    def buckets(self) -> List[Tuple[int, int]]:
+        """Sorted (bucket_start, count) pairs."""
+        return sorted((b * self.bin_width, n) for b, n in self.counts.items())
+
+
+class Timeseries:
+    """(timestamp, value) samples, optionally bounded to the newest ``maxlen``."""
+
+    __slots__ = ("name", "maxlen", "samples")
+
+    def __init__(self, name: str, maxlen: Optional[int] = None):
+        self.name = name
+        self.maxlen = maxlen
+        self.samples: List[Tuple[int, float]] = []
+
+    def add(self, ts: int, value: float) -> None:
+        """Append one sample, evicting the oldest when bounded."""
+        self.samples.append((ts, value))
+        if self.maxlen is not None and len(self.samples) > self.maxlen:
+            del self.samples[0]
+
+    def values(self) -> List[float]:
+        """Just the sampled values."""
+        return [v for _, v in self.samples]
+
+
+class MetricsRegistry:
+    """Named metrics, one namespace per tracer (or standalone)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, HistogramMetric] = {}
+        self._timeseries: Dict[str, Timeseries] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str, probe: Callable[[], float]) -> Gauge:
+        """Register (or re-point) the gauge ``name`` at ``probe``.
+
+        Re-registration replaces the probe: experiment sweeps rebuild their
+        components per cell, and the gauge should follow the live instance.
+        """
+        gauge = Gauge(name, probe)
+        self._gauges[name] = gauge
+        return gauge
+
+    def histogram(self, name: str, bin_width: int = 1) -> HistogramMetric:
+        """Get or create the histogram ``name``."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = HistogramMetric(name, bin_width)
+        return hist
+
+    def timeseries(self, name: str, maxlen: Optional[int] = None) -> Timeseries:
+        """Get or create the timeseries ``name``."""
+        series = self._timeseries.get(name)
+        if series is None:
+            series = self._timeseries[name] = Timeseries(name, maxlen)
+        return series
+
+    def snapshot(self) -> dict:
+        """Every metric's current value as one plain dict."""
+        out: dict = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.read()
+        for name, hist in self._histograms.items():
+            out[name] = {"total": hist.total, "buckets": hist.buckets()}
+        for name, series in self._timeseries.items():
+            out[name] = {"samples": len(series.samples)}
+        return out
+
+    def render(self) -> str:
+        """Aligned ``name value`` lines, sorted by name."""
+        snap = self.snapshot()
+        if not snap:
+            return "(no metrics registered)"
+        width = max(len(name) for name in snap)
+        lines = []
+        for name in sorted(snap):
+            value = snap[name]
+            if isinstance(value, float):
+                value = round(value, 4)
+            lines.append(f"{name.ljust(width)}  {value}")
+        return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""Event sinks: where emitted trace events go.
+
+===================  ========================================================
+Sink                 Use
+===================  ========================================================
+RingBufferSink       Bounded in-memory buffer — tests and interactive poking.
+CallbackSink         Invoke a function per event — live narration.
+JsonlSink            One JSON object per line — grep/jq-friendly archives.
+ChromeTraceSink      Chrome ``trace_event`` JSON — open in Perfetto or
+                     ``chrome://tracing``; one track (tid) per flow.
+===================  ========================================================
+
+Serialising sinks stream: events are written as they arrive, so arbitrarily
+long runs never accumulate in memory.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Callable, Dict, List, Optional, TextIO, Union
+
+from repro.trace.events import TraceEvent
+
+
+class Sink:
+    """Interface: receive events, release resources on close."""
+
+    def emit(self, event: TraceEvent) -> None:
+        """Accept one event."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class CallbackSink(Sink):
+    """Calls ``fn(event)`` for every event."""
+
+    def __init__(self, fn: Callable[[TraceEvent], None]):
+        self._fn = fn
+
+    def emit(self, event: TraceEvent) -> None:
+        self._fn(event)
+
+
+class RingBufferSink(Sink):
+    """Keeps the newest ``capacity`` events."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        #: Total events ever offered (including those the ring dropped).
+        self.offered = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self.offered += 1
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The buffered events, oldest first."""
+        return list(self._events)
+
+    def drain(self) -> List[TraceEvent]:
+        """Return and clear the buffered events."""
+        drained = list(self._events)
+        self._events.clear()
+        return drained
+
+
+def _open(path_or_file: Union[str, TextIO]):
+    """(file, owned) — open a path, or adopt a caller-owned file object."""
+    if isinstance(path_or_file, str):
+        return open(path_or_file, "w", encoding="utf-8"), True
+    return path_or_file, False
+
+
+class JsonlSink(Sink):
+    """One ``event.to_dict()`` JSON object per line."""
+
+    def __init__(self, path_or_file: Union[str, TextIO]):
+        self._file, self._owned = _open(path_or_file)
+        self.written = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._file.write(json.dumps(event.to_dict()) + "\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._file is None:
+            return
+        self._file.flush()
+        if self._owned:
+            self._file.close()
+        self._file = None
+
+
+def read_jsonl(path: str) -> List[dict]:
+    """Load a JSONL trace back into a list of event dicts."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+class ChromeTraceSink(Sink):
+    """Streams Chrome ``trace_event`` JSON (the "JSON array format").
+
+    Layout: one process (pid 1, named ``juggler-repro``); one thread track
+    per flow, named after its five-tuple; tid 0 is the ``stack`` track for
+    flow-less events (timer fires).  Every event is an instant (``ph: "i"``)
+    with thread scope and a microsecond ``ts``, which is what Perfetto and
+    ``chrome://tracing`` expect.
+    """
+
+    PID = 1
+
+    def __init__(self, path_or_file: Union[str, TextIO]):
+        self._file, self._owned = _open(path_or_file)
+        self._tids: Dict[str, int] = {}
+        self._first = True
+        self.written = 0
+        self._file.write('{"displayTimeUnit": "ns", "traceEvents": [')
+        self._write_record({
+            "name": "process_name", "ph": "M", "ts": 0,
+            "pid": self.PID, "tid": 0,
+            "args": {"name": "juggler-repro"},
+        })
+        self._write_record({
+            "name": "thread_name", "ph": "M", "ts": 0,
+            "pid": self.PID, "tid": 0, "args": {"name": "stack"},
+        })
+
+    def _write_record(self, record: dict) -> None:
+        prefix = "\n" if self._first else ",\n"
+        self._first = False
+        self._file.write(prefix + json.dumps(record))
+        self.written += 1
+
+    def _tid_for(self, flow: Optional[str]) -> int:
+        if flow is None:
+            return 0
+        tid = self._tids.get(flow)
+        if tid is None:
+            tid = self._tids[flow] = len(self._tids) + 1
+            self._write_record({
+                "name": "thread_name", "ph": "M", "ts": 0,
+                "pid": self.PID, "tid": tid, "args": {"name": flow},
+            })
+        return tid
+
+    def emit(self, event: TraceEvent) -> None:
+        data = event.to_dict()
+        name = data.pop("event")
+        ts_ns = data.pop("ts")
+        flow = data.pop("flow", None)
+        self._write_record({
+            "name": name,
+            "cat": "juggler",
+            "ph": "i",
+            "s": "t",
+            "ts": ts_ns / 1000.0,  # trace_event ts is in microseconds
+            "pid": self.PID,
+            "tid": self._tid_for(flow),
+            "args": data,
+        })
+
+    def close(self) -> None:
+        if self._file is None:
+            return
+        self._file.write("\n]}\n")
+        self._file.flush()
+        if self._owned:
+            self._file.close()
+        self._file = None

@@ -14,6 +14,7 @@ from repro.harness import (
     make_gro_factory,
     mean,
     percentile,
+    percentiles,
 )
 from repro.sim import Engine, US
 
@@ -46,6 +47,23 @@ def test_percentile_empty():
 def test_percentile_validates_q():
     with pytest.raises(ValueError):
         percentile([1], 101)
+
+
+def test_percentiles_matches_repeated_percentile():
+    data = [7, 1, 9, 4, 2, 8, 3, 6, 5, 10]
+    qs = (0, 25, 50, 90, 99, 100)
+    assert percentiles(data, qs) == [percentile(data, q) for q in qs]
+
+
+def test_percentiles_preserves_order_of_qs():
+    assert percentiles(list(range(1, 101)), (99, 50)) == [
+        pytest.approx(99.01), pytest.approx(50.5)]
+
+
+def test_percentiles_empty_and_validation():
+    assert percentiles([], (50, 99)) == [0.0, 0.0]
+    with pytest.raises(ValueError):
+        percentiles([1, 2], (50, 101))
 
 
 def test_histogram_counts_and_fraction():
