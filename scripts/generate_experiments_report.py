@@ -3,90 +3,114 @@
 
 Used to regenerate the measured columns of EXPERIMENTS.md:
 
-    python scripts/generate_experiments_report.py > /tmp/experiments_raw.txt
+    PYTHONPATH=src python scripts/generate_experiments_report.py \
+        > /tmp/experiments_raw.txt
+
+Built on the campaign runner (see docs/campaign.md), so it parallelises
+and resumes:
+
+    ... generate_experiments_report.py --jobs 4 --store /tmp/report.jsonl
+    ... generate_experiments_report.py --resume --store /tmp/report.jsonl
 """
 
+import argparse
+import os
+import sys
+import tempfile
 import time
 
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src"))
 
-def section(title):
-    print(f"\n{'=' * 74}\n{title}\n{'=' * 74}")
+from repro.campaign import (  # noqa: E402 — after sys.path setup
+    CampaignSpec,
+    ResultStore,
+    SchedulerConfig,
+    expand,
+    render_report,
+    run_campaign,
+)
+
+#: Report-scale spec: the sweep figures run one task per grid point, the
+#: rest one task per experiment, all at the grid sizes EXPERIMENTS.md uses.
+SPEC = CampaignSpec.from_dict({
+    "name": "experiments-report",
+    "experiments": [
+        {"experiment": "fig12",
+         "overrides": {"warmup_ms": 6, "measure_ms": 10},
+         "grid": {"reorder_delay_us": [250, 500, 750],
+                  "inseq_timeout_us": [0, 20, 40, 52, 80, 100]}},
+        {"experiment": "fig13",
+         "overrides": {"warmup_ms": 8, "measure_ms": 10},
+         "grid": {"reorder_delay_us": [250, 500, 750],
+                  "ofo_timeout_us": [50, 150, 300, 500, 700, 900]}},
+        {"experiment": "fig14",
+         "overrides": {"duration_ms": 150},
+         "grid": {"reorder_delay_us": [250, 500, 750],
+                  "ofo_timeout_us": [50, 100, 200, 400, 600, 800, 1000]}},
+        {"experiment": "fig09",
+         "overrides": {"warmup_ms": 8, "measure_ms": 14}},
+        {"experiment": "fig10",
+         "overrides": {"warmup_ms": 10, "measure_ms": 14}},
+        {"experiment": "fig15",
+         "overrides": {"warmup_ms": 4, "measure_ms": 15},
+         "grid": {"reorder_delay_us": [250, 500, 1000],
+                  "concurrent_flows": [64, 128, 256, 512]}},
+        {"experiment": "fig16",
+         "overrides": {"warmup_ms": 8, "measure_ms": 15}},
+        {"experiment": "fig01",
+         "overrides": {"before_ms": 25, "after_ms": 60,
+                       "ofo_timeout_us": 200, "sample_ms": 5}},
+        {"experiment": "fig18",
+         "overrides": {"ramp_ms": 25, "measure_ms": 30}},
+        {"experiment": "fig20",
+         "overrides": {"loads_pct": [25, 50, 75, 90],
+                       "warmup_ms": 6, "measure_ms": 20}},
+        {"experiment": "sec31",
+         "overrides": {"warmup_ms": 6, "measure_ms": 12}},
+        {"experiment": "sec512",
+         "overrides": {"duration_ms": 40}},
+        {"experiment": "ablations",
+         "overrides": {"duration_ms": 30}},
+    ],
+})
 
 
-def main():
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1, serial)")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="result store, enables --resume "
+                             "(default: a temp file)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip tasks already completed in --store")
+    args = parser.parse_args()
+
+    store_path = args.store
+    if store_path is None:
+        fd, store_path = tempfile.mkstemp(prefix="experiments_report_",
+                                          suffix=".jsonl")
+        os.close(fd)
+    store = ResultStore(store_path)
+    if store.exists_nonempty() and not args.resume:
+        print(f"store {store_path} already has results; pass --resume "
+              f"to continue it", file=sys.stderr)
+        return 2
+
     t0 = time.time()
+    tasks = expand(SPEC)
+    print(f"# {len(tasks)} task(s), jobs={args.jobs}, store={store_path}",
+          file=sys.stderr)
+    stats = run_campaign(tasks, store, SchedulerConfig(jobs=args.jobs),
+                         progress=lambda line: print(line, file=sys.stderr))
+    print(stats.summary_line(SPEC.name), file=sys.stderr)
 
-    from repro.experiments import fig12_inseq_timeout as f12
-    section("Figure 12")
-    print(f12.render(f12.run(f12.Fig12Params(
-        inseq_timeouts_us=(0, 20, 40, 52, 80, 100),
-        reorder_delays_us=(250, 500, 750), warmup_ms=6, measure_ms=10))))
-
-    from repro.experiments import fig13_ofo_timeout_throughput as f13
-    section("Figure 13")
-    print(f13.render(f13.run(f13.Fig13Params(
-        ofo_timeouts_us=(50, 150, 300, 500, 700, 900),
-        reorder_delays_us=(250, 500, 750), warmup_ms=8, measure_ms=10))))
-
-    from repro.experiments import fig14_ofo_timeout_latency as f14
-    section("Figure 14")
-    print(f14.render(f14.run(f14.Fig14Params(
-        ofo_timeouts_us=(50, 100, 200, 400, 600, 800, 1000),
-        reorder_delays_us=(250, 500, 750), duration_ms=150))))
-
-    from repro.experiments import cpu_overhead as co
-    section("Figure 9 (single flow)")
-    print(co.render(co.run_figure(1, co.CpuOverheadParams(
-        warmup_ms=8, measure_ms=14))))
-    section("Figure 10 (256 flows)")
-    print(co.render(co.run_figure(256, co.CpuOverheadParams(
-        warmup_ms=10, measure_ms=14))))
-
-    from repro.experiments import fig15_active_flows as f15
-    section("Figure 15")
-    print(f15.render(f15.run(f15.Fig15Params(
-        concurrent_flows=(64, 128, 256, 512),
-        reorder_delays_us=(250, 500, 1000), warmup_ms=4, measure_ms=15))))
-
-    from repro.experiments import fig16_active_list_histogram as f16
-    section("Figure 16")
-    print(f16.render(f16.run(f16.Fig16Params(warmup_ms=8, measure_ms=15))))
-
-    from repro.experiments import fig01_bandwidth_guarantee as f01
-    section("Figure 1")
-    print(f01.render(f01.run(f01.Fig01Params(
-        before_ms=25, after_ms=60, ofo_timeout_us=200, sample_ms=5))))
-
-    from repro.experiments import fig18_bandwidth_sweep as f18
-    section("Figure 18")
-    print(f18.render(f18.run(f18.Fig18Params(ramp_ms=25, measure_ms=30))))
-
-    from repro.experiments import fig20_load_balancing as f20
-    section("Figure 20")
-    print(f20.render(f20.run(f20.Fig20Params(
-        loads_pct=(25, 50, 75, 90), warmup_ms=6, measure_ms=20))))
-
-    from repro.experiments import sec31_chained_gro_cost as s31
-    section("Section 3.1 (linked-list batching)")
-    print(s31.render(s31.run(s31.Sec31Params(warmup_ms=6, measure_ms=12))))
-
-    from repro.experiments import sec512_latency_overhead as s512
-    section("Section 5.1.2 (latency overhead)")
-    print(s512.render(s512.run(s512.Sec512Params(duration_ms=40))))
-
-    from repro.experiments import ablations
-    section("Ablation: build-up phase")
-    print(ablations.render(ablations.run_buildup_ablation(
-        ablations.AblationParams(reorder_delay_us=60, duration_ms=25))))
-    section("Ablation: eviction policy")
-    print(ablations.render(ablations.run_eviction_ablation(
-        ablations.AblationParams(duration_ms=30))))
-    section("Ablation: gro_table size")
-    print(ablations.render(ablations.run_table_size_ablation(
-        ablations.AblationParams(duration_ms=30))))
-
+    print(render_report(store.load(), SPEC))
     print(f"\n(total {time.time() - t0:.0f}s)")
+    return 1 if stats.failed else 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""Parallel, resumable experiment-sweep campaigns.
+
+The pieces (see docs/campaign.md for the full story):
+
+* :mod:`repro.campaign.spec` — declarative specs expanded into
+  fingerprinted :class:`Task` objects with deterministically derived
+  per-task seeds (``sim.rng``-style hashing).
+* :mod:`repro.campaign.registry` — adapters that let workers drive any
+  experiment by name: per-grid-point for the sweep figures, whole-run
+  for the rest.
+* :mod:`repro.campaign.scheduler` — process-pool fan-out with per-task
+  timeouts, bounded retry with backoff, and worker-crash recovery.
+* :mod:`repro.campaign.store` — append-only JSONL result store keyed by
+  task fingerprint; what makes ``campaign resume`` skip finished work.
+* :mod:`repro.campaign.reporter` — rebuilds the figures' ``render()``
+  tables and a machine-readable summary from the store.
+"""
+
+from repro.campaign.reporter import render_report, summarize
+from repro.campaign.scheduler import (
+    CampaignStats,
+    SchedulerConfig,
+    run_campaign,
+)
+from repro.campaign.spec import (
+    CampaignSpec,
+    ExperimentSpec,
+    Task,
+    build_default_spec,
+    derive_seed,
+    expand,
+)
+from repro.campaign.store import ResultStore
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignStats",
+    "ExperimentSpec",
+    "ResultStore",
+    "SchedulerConfig",
+    "Task",
+    "build_default_spec",
+    "derive_seed",
+    "expand",
+    "render_report",
+    "run_campaign",
+    "summarize",
+]

@@ -1,0 +1,153 @@
+"""``juggler-repro campaign run|resume|report``.
+
+``run`` expands a spec (from ``--spec FILE`` or ``--experiments a,b,c``)
+into tasks and schedules them; it refuses a non-empty store so completed
+results cannot be silently appended to twice.  ``resume`` is the same
+command minus that guard: tasks whose fingerprints already sit in the
+store as ``ok`` are skipped.  ``report`` re-renders the figure tables
+from the store alone — no re-execution — and can emit a machine-readable
+JSON summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import sys
+
+from repro.campaign import registry
+from repro.campaign.reporter import render_report, summarize
+from repro.campaign.scheduler import SchedulerConfig, run_campaign
+from repro.campaign.spec import (
+    CampaignSpec,
+    build_default_spec,
+    expand,
+    load_spec,
+)
+from repro.campaign.store import ResultStore
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--spec", default=None,
+                        help="campaign spec JSON file (see docs/campaign.md)")
+    parser.add_argument("--experiments", default=None, metavar="A,B,C",
+                        help="comma-separated experiment names (default "
+                             "grids) instead of --spec")
+    parser.add_argument("--store", required=True,
+                        help="result store (append-only JSONL)")
+    parser.add_argument("--name", default=None,
+                        help="campaign name override")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = inline serial)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="root seed for per-task seed derivation "
+                             "(default: keep each experiment's own seed)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS", help="per-task timeout")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="extra attempts per failing task (default 2)")
+    parser.add_argument("--backoff", type=float, default=0.25,
+                        metavar="SECONDS",
+                        help="first-retry backoff; doubles per attempt")
+    parser.add_argument("--trace", choices=("jsonl",), default=None,
+                        help="per-task tracing (workers inherit the "
+                             "repro.trace runtime)")
+    parser.add_argument("--trace-dir", default="campaign_traces",
+                        help="directory for per-task trace files")
+    parser.add_argument("--report", action="store_true",
+                        help="print the full report after the run")
+
+
+def _build_spec(args) -> CampaignSpec:
+    if bool(args.spec) == bool(args.experiments):
+        raise SystemExit("exactly one of --spec or --experiments required")
+    if args.spec:
+        spec = load_spec(args.spec)
+    else:
+        names = [n.strip() for n in args.experiments.split(",") if n.strip()]
+        unknown = [n for n in names
+                   if n not in registry.names(include_hidden=True)]
+        if unknown:
+            raise SystemExit(f"unknown experiment(s): {', '.join(unknown)}")
+        spec = build_default_spec(names)
+    if args.name is not None:
+        spec = CampaignSpec(name=args.name, experiments=spec.experiments,
+                            seed=spec.seed)
+    if args.seed is not None:
+        spec = CampaignSpec(name=spec.name, experiments=spec.experiments,
+                            seed=args.seed)
+    return spec
+
+
+def _cmd_run(args, resume: bool) -> int:
+    spec = _build_spec(args)
+    store = ResultStore(args.store)
+    if not resume and store.exists_nonempty():
+        print(f"store {args.store} already has results; use "
+              f"'campaign resume' to continue it (or pick a new path)",
+              file=sys.stderr)
+        return 2
+    try:
+        tasks = expand(spec)
+    except (ValueError, KeyError) as exc:
+        print(f"bad spec: {exc}", file=sys.stderr)
+        return 2
+    config = SchedulerConfig(
+        jobs=args.jobs, timeout_s=args.timeout, retries=args.retries,
+        backoff_s=args.backoff, trace=args.trace,
+        trace_dir=args.trace_dir if args.trace else None,
+    )
+    print(f"campaign '{spec.name}': {len(tasks)} task(s), "
+          f"jobs={args.jobs}, store={args.store}")
+    stats = run_campaign(tasks, store, config, progress=print)
+    print(stats.summary_line(spec.name))
+    if args.report:
+        print()
+        print(render_report(store.load(), spec))
+    return 0 if stats.failed == 0 else 1
+
+
+def _cmd_report(args) -> int:
+    store = ResultStore(args.store)
+    records = store.load()
+    spec = load_spec(args.spec) if args.spec else None
+    print(render_report(records, spec))
+    if args.json:
+        summary = summarize(records)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"summary written to {args.json}")
+    return 0
+
+
+def main(argv) -> int:
+    """Entry point for the ``campaign`` subcommand."""
+    logging.basicConfig(format="%(levelname)s %(name)s: %(message)s")
+    parser = argparse.ArgumentParser(
+        prog="juggler-repro campaign",
+        description="Parallel, resumable experiment sweeps with a durable "
+                    "result store (see docs/campaign.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a campaign into a fresh store")
+    _add_run_args(run_p)
+    resume_p = sub.add_parser(
+        "resume", help="continue a campaign, skipping completed tasks")
+    _add_run_args(resume_p)
+    report_p = sub.add_parser(
+        "report", help="render tables + summary from an existing store")
+    report_p.add_argument("--store", required=True)
+    report_p.add_argument("--spec", default=None,
+                          help="spec file (orders the report sections)")
+    report_p.add_argument("--json", default=None, metavar="PATH",
+                          help="also write a machine-readable summary")
+
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args, resume=False)
+    if args.command == "resume":
+        return _cmd_run(args, resume=True)
+    return _cmd_report(args)

@@ -1,0 +1,230 @@
+"""Declarative sweep specs expanded into fingerprinted tasks.
+
+A campaign is a named set of experiments, each with parameter overrides
+and (for grid experiments) a grid of axis values.  :func:`expand` turns a
+spec into a flat list of :class:`Task` objects — one per grid point, or
+one per whole-run experiment — each carrying:
+
+* a **fingerprint**: the SHA-256 of the canonical JSON of everything that
+  determines the task's output (experiment, overrides, point, seed).  The
+  result store keys on it, which is what makes ``campaign resume`` able to
+  skip completed work and what makes a re-run with different parameters
+  a *different* task rather than a stale cache hit.
+* a **seed**: when the spec sets a root seed, each task derives its own
+  seed from ``sha256(root:experiment:payload)`` — the same hashing idiom
+  as :class:`repro.sim.rng.RngRegistry` — so per-task randomness is stable
+  across runs and independent of scheduling order or ``--jobs``.  With no
+  root seed, tasks keep each experiment's baked-in default seed, which
+  makes a campaign's rows byte-identical to the serial ``run()`` loops.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, tuples as lists."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      default=_jsonify)
+
+
+def _jsonify(obj):
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    raise TypeError(f"not canonically serialisable: {type(obj).__name__}")
+
+
+def derive_seed(root_seed: int, experiment: str, payload: str) -> int:
+    """A per-task seed from the campaign root seed (sim.rng-style hashing)."""
+    digest = hashlib.sha256(
+        f"{root_seed}:{experiment}:{payload}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of campaign work: a single grid point (or whole run)."""
+
+    campaign: str
+    experiment: str
+    #: Position in the deterministic expansion order; the reporter sorts on
+    #: it so output never depends on completion order.
+    index: int
+    #: Parameter overrides applied to the experiment's ``*Params`` defaults.
+    base: Mapping
+    #: Axis values for this grid point (empty for whole-run tasks).
+    point: Mapping
+    #: Per-task seed, or None to keep the experiment's default seed.
+    seed: Optional[int]
+    fingerprint: str
+
+    def to_wire(self) -> dict:
+        """A plain JSON-able dict (what crosses the process boundary)."""
+        return {
+            "campaign": self.campaign,
+            "experiment": self.experiment,
+            "index": self.index,
+            "base": dict(self.base),
+            "point": dict(self.point),
+            "seed": self.seed,
+            "fingerprint": self.fingerprint,
+        }
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity for progress lines."""
+        if not self.point:
+            return self.experiment
+        inner = ",".join(f"{k}={v}" for k, v in sorted(self.point.items()))
+        return f"{self.experiment}[{inner}]"
+
+
+def make_task(campaign: str, experiment: str, index: int, base: Mapping,
+              point: Mapping, root_seed: Optional[int]) -> Task:
+    """Build a task, deriving its seed and fingerprint."""
+    payload = canonical_json({"base": base, "point": point})
+    seed = (None if root_seed is None
+            else derive_seed(root_seed, experiment, payload))
+    fingerprint = hashlib.sha256(canonical_json({
+        "experiment": experiment,
+        "base": base,
+        "point": point,
+        "seed": seed,
+    }).encode()).hexdigest()
+    return Task(campaign=campaign, experiment=experiment, index=index,
+                base=dict(base), point=dict(point), seed=seed,
+                fingerprint=fingerprint)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment's slice of a campaign."""
+
+    experiment: str
+    #: ``*Params`` field overrides (grid-axis tuples excluded for grids).
+    overrides: Mapping = field(default_factory=dict)
+    #: axis name -> list of values; None means the experiment's default
+    #: grid (for grid experiments) or a single whole-run task (others).
+    grid: Optional[Mapping] = None
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named, seeded collection of experiment sweeps."""
+
+    name: str
+    experiments: Sequence[ExperimentSpec]
+    #: Root seed for per-task seed derivation; None keeps module defaults.
+    seed: Optional[int] = None
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CampaignSpec":
+        """Parse the JSON spec format (see docs/campaign.md)."""
+        if "experiments" not in data:
+            raise ValueError("spec needs an 'experiments' list")
+        experiments = []
+        for entry in data["experiments"]:
+            if isinstance(entry, str):
+                entry = {"experiment": entry}
+            unknown = set(entry) - {"experiment", "overrides", "grid"}
+            if unknown:
+                raise ValueError(
+                    f"unknown experiment-spec keys: {sorted(unknown)}")
+            experiments.append(ExperimentSpec(
+                experiment=entry["experiment"],
+                overrides=dict(entry.get("overrides") or {}),
+                grid=(dict(entry["grid"])
+                      if entry.get("grid") is not None else None),
+            ))
+        return cls(name=data.get("name", "campaign"),
+                   experiments=tuple(experiments),
+                   seed=data.get("seed"))
+
+    @classmethod
+    def from_file(cls, path) -> "CampaignSpec":
+        """Load a JSON spec file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def to_dict(self) -> dict:
+        """The JSON spec format (round-trips through :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "experiments": [
+                {"experiment": e.experiment,
+                 **({"overrides": dict(e.overrides)} if e.overrides else {}),
+                 **({"grid": dict(e.grid)} if e.grid is not None else {})}
+                for e in self.experiments
+            ],
+        }
+
+
+def build_default_spec(names: Sequence[str], seed: Optional[int] = None,
+                       name: str = "campaign") -> CampaignSpec:
+    """A spec running each named experiment with its default parameters."""
+    return CampaignSpec(
+        name=name,
+        experiments=tuple(ExperimentSpec(n) for n in names),
+        seed=seed,
+    )
+
+
+def expand(spec: CampaignSpec) -> List[Task]:
+    """Flatten a spec into fingerprinted tasks, in deterministic order.
+
+    Grid experiments produce one task per point, iterated in the module's
+    own nesting order (outer axis first), so a campaign report lists rows
+    exactly as the serial ``render(run())`` would.
+    """
+    from repro.campaign import registry
+
+    tasks: List[Task] = []
+    for espec in spec.experiments:
+        adapter = registry.get(espec.experiment)
+        if adapter.is_grid:
+            grid = adapter.validate_grid(espec.grid)
+            adapter.validate_overrides(espec.overrides)
+            for point in _grid_product(adapter.axis_names(), grid):
+                tasks.append(make_task(spec.name, espec.experiment,
+                                       len(tasks), espec.overrides, point,
+                                       spec.seed))
+        else:
+            if espec.grid:
+                raise ValueError(
+                    f"experiment '{espec.experiment}' takes no grid")
+            adapter.validate_overrides(espec.overrides)
+            tasks.append(make_task(spec.name, espec.experiment, len(tasks),
+                                   espec.overrides, {}, spec.seed))
+    _check_unique(tasks)
+    return tasks
+
+
+def _grid_product(axis_names: Sequence[str], grid: Mapping):
+    values = [list(grid[axis]) for axis in axis_names]
+    for combo in itertools.product(*values):
+        yield dict(zip(axis_names, combo))
+
+
+def _check_unique(tasks: List[Task]) -> None:
+    seen: Dict[str, Task] = {}
+    for task in tasks:
+        other = seen.get(task.fingerprint)
+        if other is not None:
+            raise ValueError(
+                f"duplicate tasks in campaign: {other.label} and "
+                f"{task.label} have the same fingerprint")
+        seen[task.fingerprint] = task
+
+
+def load_spec(path) -> CampaignSpec:
+    """Convenience wrapper used by the CLI."""
+    if not Path(path).exists():
+        raise FileNotFoundError(f"spec file not found: {path}")
+    return CampaignSpec.from_file(path)

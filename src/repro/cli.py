@@ -6,8 +6,17 @@
     juggler-repro fig12
     juggler-repro fig20 ablations
     juggler-repro all
+    juggler-repro all --jobs 4                   # parallel, via campaign
     juggler-repro trace fig12                    # Chrome trace -> Perfetto
     juggler-repro trace fig12 --format jsonl --events flush,phase
+    juggler-repro campaign run --spec sweep.json --store out.jsonl --jobs 4
+    juggler-repro campaign resume --spec sweep.json --store out.jsonl
+    juggler-repro campaign report --store out.jsonl --json summary.json
+
+The experiment catalog itself lives in :mod:`repro.campaign.registry`;
+this module is only the dispatcher.  ``--jobs 1`` (the default) runs the
+historical in-process serial loop; ``--jobs N`` or ``--seed`` routes the
+same selection through the campaign scheduler.
 """
 
 from __future__ import annotations
@@ -15,117 +24,13 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict
+from typing import Dict
 
+from repro.campaign.registry import cli_experiments
 
-def _fig01() -> str:
-    from repro.experiments import fig01_bandwidth_guarantee as m
-
-    return m.render(m.run())
-
-
-def _fig09() -> str:
-    from repro.experiments import cpu_overhead as m
-
-    return m.render(m.run_figure(1))
-
-
-def _fig10() -> str:
-    from repro.experiments import cpu_overhead as m
-
-    return m.render(m.run_figure(256))
-
-
-def _fig12() -> str:
-    from repro.experiments import fig12_inseq_timeout as m
-
-    return m.render(m.run())
-
-
-def _fig13() -> str:
-    from repro.experiments import fig13_ofo_timeout_throughput as m
-
-    return m.render(m.run())
-
-
-def _fig14() -> str:
-    from repro.experiments import fig14_ofo_timeout_latency as m
-
-    return m.render(m.run())
-
-
-def _fig15() -> str:
-    from repro.experiments import fig15_active_flows as m
-
-    return m.render(m.run())
-
-
-def _fig16() -> str:
-    from repro.experiments import fig16_active_list_histogram as m
-
-    return m.render(m.run())
-
-
-def _fig18() -> str:
-    from repro.experiments import fig18_bandwidth_sweep as m
-
-    return m.render(m.run())
-
-
-def _fig20() -> str:
-    from repro.experiments import fig20_load_balancing as m
-
-    return m.render(m.run())
-
-
-def _sec31() -> str:
-    from repro.experiments import sec31_chained_gro_cost as m
-
-    return m.render(m.run())
-
-
-def _sec512() -> str:
-    from repro.experiments import sec512_latency_overhead as m
-
-    return m.render(m.run())
-
-
-def _ablations() -> str:
-    from repro.experiments import ablations as m
-
-    parts = [
-        "Build-up phase:",
-        m.render(m.run_buildup_ablation()),
-        "\nEviction policy:",
-        m.render(m.run_eviction_ablation()),
-        "\ngro_table size:",
-        m.render(m.run_table_size_ablation()),
-    ]
-    return "\n".join(parts)
-
-
-def _scheduling() -> str:
-    from repro.experiments import flow_scheduling as m
-
-    return m.render(m.run())
-
-
-EXPERIMENTS: Dict[str, tuple] = {
-    "fig01": (_fig01, "bandwidth-guarantee time series (Figure 1)"),
-    "fig09": (_fig09, "CPU overhead, single flow (Figure 9)"),
-    "fig10": (_fig10, "CPU overhead, 256 flows (Figure 10)"),
-    "fig12": (_fig12, "batching vs inseq_timeout (Figure 12)"),
-    "fig13": (_fig13, "throughput vs ofo_timeout (Figure 13)"),
-    "fig14": (_fig14, "RPC tail vs ofo_timeout under loss (Figure 14)"),
-    "fig15": (_fig15, "active flows vs concurrency (Figure 15)"),
-    "fig16": (_fig16, "active-list statistics on Clos (Figure 16)"),
-    "fig18": (_fig18, "guarantee sweep (Figure 18)"),
-    "fig20": (_fig20, "load-balancing granularity (Figure 20)"),
-    "sec31": (_sec31, "linked-list batching cost (Section 3.1)"),
-    "sec512": (_sec512, "latency overhead (Section 5.1.2)"),
-    "ablations": (_ablations, "design-choice ablations (DESIGN.md §5)"),
-    "scheduling": (_scheduling, "extension: PIAS/pFabric flow scheduling"),
-}
+#: name -> (runner, description).  A plain mutable dict so tests can
+#: monkeypatch stub runners in.
+EXPERIMENTS: Dict[str, tuple] = cli_experiments()
 
 
 def run_trace(argv) -> int:
@@ -201,11 +106,47 @@ def run_trace(argv) -> int:
     return 0
 
 
+def _run_parallel(names, jobs: int, seed, store_path) -> int:
+    """Route an experiment selection through the campaign scheduler."""
+    import tempfile
+
+    from repro.campaign import (
+        ResultStore,
+        SchedulerConfig,
+        build_default_spec,
+        expand,
+        render_report,
+        run_campaign,
+    )
+
+    spec = build_default_spec(names, seed=seed, name="cli")
+    if store_path is None:
+        fd, store_path = tempfile.mkstemp(prefix="juggler_campaign_",
+                                          suffix=".jsonl")
+        import os
+
+        os.close(fd)
+    store = ResultStore(store_path)
+    tasks = expand(spec)
+    print(f"running {len(tasks)} task(s) with {jobs} worker(s); "
+          f"results -> {store_path}")
+    stats = run_campaign(tasks, store, SchedulerConfig(jobs=jobs),
+                         progress=print)
+    print(stats.summary_line(spec.name))
+    print()
+    print(render_report(store.load(), spec))
+    return 0 if stats.failed == 0 else 1
+
+
 def main(argv=None) -> int:
     """Entry point for the ``juggler-repro`` console script."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "trace":
         return run_trace(argv[1:])
+    if argv and argv[0] == "campaign":
+        from repro.campaign.cli import main as campaign_main
+
+        return campaign_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="juggler-repro",
         description="Run reproduced experiments from the Juggler paper "
@@ -217,6 +158,18 @@ def main(argv=None) -> int:
         metavar="EXPERIMENT",
         help="experiment names (see 'list'), or 'all'",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes; >1 runs the selection through the "
+             "campaign scheduler (default 1: serial, in-process)")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="campaign root seed for per-task seed derivation "
+             "(implies the campaign path even with --jobs 1)")
+    parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="with --jobs/--seed: keep the result JSONL here "
+             "(default: a temp file)")
     args = parser.parse_args(argv)
 
     if not args.experiments or args.experiments == ["list"]:
@@ -226,6 +179,8 @@ def main(argv=None) -> int:
         print("  all          run everything")
         print("run 'juggler-repro trace EXPERIMENT' to record a trace "
               "artifact (see docs/observability.md)")
+        print("run 'juggler-repro campaign --help' for parallel, resumable "
+              "sweeps (see docs/campaign.md)")
         return 0
 
     names = (list(EXPERIMENTS) if args.experiments == ["all"]
@@ -235,6 +190,10 @@ def main(argv=None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}",
               file=sys.stderr)
         return 2
+
+    if args.jobs > 1 or args.seed is not None:
+        return _run_parallel(names, max(1, args.jobs), args.seed,
+                             args.store)
 
     for name in names:
         runner, description = EXPERIMENTS[name]

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.base import GroEngine
 from repro.core.stats import GroStats
@@ -85,6 +86,22 @@ class HostCpu:
     def app_utilization(self, now: int) -> float:
         """App-core busy fraction since :meth:`mark` (may exceed 1.0)."""
         return self.app_core.meter.utilization_since(now)
+
+
+def grid_points(axes: Sequence[Tuple[str, str]],
+                params) -> Iterator[Dict[str, object]]:
+    """Iterate a sweep grid in row-major (outer-axis-first) order.
+
+    ``axes`` is the module's ordered ``(axis_name, params_field)`` pairs;
+    each yielded dict maps axis names to one grid point's values.  The
+    sweep modules' ``run()`` loops and the campaign runner's task
+    expansion both iterate through here, so a campaign report lists rows
+    in exactly the order the serial sweep would.
+    """
+    values = [getattr(params, field) for _, field in axes]
+    names = [axis for axis, _ in axes]
+    for combo in itertools.product(*values):
+        yield dict(zip(names, combo))
 
 
 def gbps(nbytes: int, window_ns: int) -> float:

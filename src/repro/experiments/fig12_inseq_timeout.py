@@ -19,7 +19,12 @@ from typing import List
 
 from repro.core.config import JugglerConfig
 from repro.core.juggler import JugglerGRO
-from repro.experiments.common import HostCpu, StatsSnapshot, merged_stats
+from repro.experiments.common import (
+    HostCpu,
+    StatsSnapshot,
+    grid_points,
+    merged_stats,
+)
 from repro.fabric.topology import build_netfpga_pair
 from repro.harness.reporting import format_table
 from repro.nic.nic import NicConfig
@@ -69,6 +74,17 @@ class Fig12Result:
         """One curve of the figure."""
         return [p for p in self.points
                 if p.reorder_delay_us == reorder_delay_us]
+
+
+#: Sweep axes in loop-nesting order: (point field, params grid field).
+POINT_AXES = (("reorder_delay_us", "reorder_delays_us"),
+              ("inseq_timeout_us", "inseq_timeouts_us"))
+
+
+def run_point(params: Fig12Params, *, reorder_delay_us: int,
+              inseq_timeout_us: int) -> Fig12Point:
+    """One grid point, independently schedulable (see repro.campaign)."""
+    return run_cell(params, reorder_delay_us, inseq_timeout_us)
 
 
 def run_cell(params: Fig12Params, reorder_us: int, inseq_us: int) -> Fig12Point:
@@ -124,11 +140,10 @@ def _batching(before: StatsSnapshot, after: StatsSnapshot) -> float:
 
 def run(params: Fig12Params = Fig12Params()) -> Fig12Result:
     """Full sweep."""
-    result = Fig12Result()
-    for reorder_us in params.reorder_delays_us:
-        for inseq_us in params.inseq_timeouts_us:
-            result.points.append(run_cell(params, reorder_us, inseq_us))
-    return result
+    return Fig12Result(points=[
+        run_point(params, **point)
+        for point in grid_points(POINT_AXES, params)
+    ])
 
 
 def render(result: Fig12Result) -> str:

@@ -20,6 +20,7 @@ from typing import List
 
 from repro.core.config import JugglerConfig
 from repro.core.juggler import JugglerGRO
+from repro.experiments.common import grid_points
 from repro.fabric.topology import build_netfpga_pair
 from repro.harness.reporting import format_table
 from repro.nic.nic import NicConfig
@@ -67,6 +68,17 @@ class Fig13Result:
                 if p.reorder_delay_us == reorder_delay_us]
 
 
+#: Sweep axes in loop-nesting order: (point field, params grid field).
+POINT_AXES = (("reorder_delay_us", "reorder_delays_us"),
+              ("ofo_timeout_us", "ofo_timeouts_us"))
+
+
+def run_point(params: Fig13Params, *, reorder_delay_us: int,
+              ofo_timeout_us: int) -> Fig13Point:
+    """One grid point, independently schedulable (see repro.campaign)."""
+    return run_cell(params, reorder_delay_us, ofo_timeout_us)
+
+
 def run_cell(params: Fig13Params, reorder_us: int, ofo_us: int) -> Fig13Point:
     """One (τ, ofo_timeout) measurement."""
     engine = Engine()
@@ -108,11 +120,10 @@ def run_cell(params: Fig13Params, reorder_us: int, ofo_us: int) -> Fig13Point:
 
 def run(params: Fig13Params = Fig13Params()) -> Fig13Result:
     """Full sweep."""
-    result = Fig13Result()
-    for reorder_us in params.reorder_delays_us:
-        for ofo_us in params.ofo_timeouts_us:
-            result.points.append(run_cell(params, reorder_us, ofo_us))
-    return result
+    return Fig13Result(points=[
+        run_point(params, **point)
+        for point in grid_points(POINT_AXES, params)
+    ])
 
 
 def render(result: Fig13Result) -> str:

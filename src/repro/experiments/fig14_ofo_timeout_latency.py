@@ -20,6 +20,7 @@ from typing import List
 
 from repro.core.config import JugglerConfig
 from repro.core.juggler import JugglerGRO
+from repro.experiments.common import grid_points
 from repro.fabric.topology import build_netfpga_pair
 from repro.harness.metrics import percentiles
 from repro.harness.reporting import format_table
@@ -72,6 +73,17 @@ class Fig14Result:
                 if p.reorder_delay_us == reorder_delay_us]
 
 
+#: Sweep axes in loop-nesting order: (point field, params grid field).
+POINT_AXES = (("reorder_delay_us", "reorder_delays_us"),
+              ("ofo_timeout_us", "ofo_timeouts_us"))
+
+
+def run_point(params: Fig14Params, *, reorder_delay_us: int,
+              ofo_timeout_us: int) -> Fig14Point:
+    """One grid point, independently schedulable (see repro.campaign)."""
+    return run_cell(params, reorder_delay_us, ofo_timeout_us)
+
+
 def run_cell(params: Fig14Params, reorder_us: int, ofo_us: int) -> Fig14Point:
     """One (τ, ofo_timeout) measurement."""
     engine = Engine()
@@ -108,11 +120,10 @@ def run_cell(params: Fig14Params, reorder_us: int, ofo_us: int) -> Fig14Point:
 
 def run(params: Fig14Params = Fig14Params()) -> Fig14Result:
     """Full sweep."""
-    result = Fig14Result()
-    for reorder_us in params.reorder_delays_us:
-        for ofo_us in params.ofo_timeouts_us:
-            result.points.append(run_cell(params, reorder_us, ofo_us))
-    return result
+    return Fig14Result(points=[
+        run_point(params, **point)
+        for point in grid_points(POINT_AXES, params)
+    ])
 
 
 def render(result: Fig14Result) -> str:

@@ -17,6 +17,7 @@ from typing import List
 
 from repro.core.config import JugglerConfig
 from repro.core.juggler import JugglerGRO
+from repro.experiments.common import grid_points
 from repro.fabric.topology import build_netfpga_pair
 from repro.harness.metrics import Sampler, percentile
 from repro.harness.reporting import format_table
@@ -67,6 +68,17 @@ class Fig15Result:
                 if p.reorder_delay_us == reorder_delay_us]
 
 
+#: Sweep axes in loop-nesting order: (point field, params grid field).
+POINT_AXES = (("reorder_delay_us", "reorder_delays_us"),
+              ("concurrent_flows", "concurrent_flows"))
+
+
+def run_point(params: Fig15Params, *, reorder_delay_us: int,
+              concurrent_flows: int) -> Fig15Point:
+    """One grid point, independently schedulable (see repro.campaign)."""
+    return run_cell(params, concurrent_flows, reorder_delay_us)
+
+
 def run_cell(params: Fig15Params, nflows: int, reorder_us: int) -> Fig15Point:
     """One (N, τ) measurement."""
     engine = Engine()
@@ -114,11 +126,10 @@ def run_cell(params: Fig15Params, nflows: int, reorder_us: int) -> Fig15Point:
 
 def run(params: Fig15Params = Fig15Params()) -> Fig15Result:
     """Full sweep."""
-    result = Fig15Result()
-    for reorder_us in params.reorder_delays_us:
-        for nflows in params.concurrent_flows:
-            result.points.append(run_cell(params, nflows, reorder_us))
-    return result
+    return Fig15Result(points=[
+        run_point(params, **point)
+        for point in grid_points(POINT_AXES, params)
+    ])
 
 
 def render(result: Fig15Result) -> str:

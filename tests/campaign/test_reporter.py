@@ -1,0 +1,81 @@
+"""Reporter: rebuilding render() tables from stored records."""
+
+import json
+
+from repro.campaign import (
+    CampaignSpec,
+    ExperimentSpec,
+    ResultStore,
+    SchedulerConfig,
+    expand,
+    run_campaign,
+)
+from repro.campaign.reporter import render_report, summarize
+
+TINY_FIG12 = ExperimentSpec(
+    "fig12",
+    overrides={"warmup_ms": 2, "measure_ms": 3},
+    grid={"reorder_delay_us": [250], "inseq_timeout_us": [0, 52]},
+)
+
+
+def run_tiny(tmp_path, name="r"):
+    spec = CampaignSpec(name="t", experiments=(TINY_FIG12,))
+    store = ResultStore(tmp_path / f"{name}.jsonl")
+    run_campaign(expand(spec), store,
+                 SchedulerConfig(retries=0, backoff_s=0.0))
+    return spec, store
+
+
+def test_report_matches_module_render(tmp_path):
+    import dataclasses
+
+    from repro.experiments import fig12_inseq_timeout as mod
+
+    spec, store = run_tiny(tmp_path)
+    report = render_report(store.load(), spec)
+    params = dataclasses.replace(
+        mod.Fig12Params(), warmup_ms=2, measure_ms=3,
+        reorder_delays_us=(250,), inseq_timeouts_us=(0, 52))
+    expected = mod.render(mod.run(params))
+    assert expected in report
+
+
+def test_report_is_independent_of_record_order(tmp_path):
+    spec, store = run_tiny(tmp_path)
+    records = store.load()
+    assert render_report(records, spec) == \
+           render_report(list(reversed(records)), spec)
+
+
+def test_failed_tasks_get_their_own_section(tmp_path):
+    spec, store = run_tiny(tmp_path)
+    records = store.load()
+    records.append({
+        "fingerprint": "x", "campaign": "t", "experiment": "fig12",
+        "index": 99, "base": {}, "point": {"reorder_delay_us": 9999},
+        "seed": None, "status": "failed", "failure": "timeout",
+        "error": "task timeout after 1.0s", "attempts": 3,
+        "elapsed_s": None, "rows": None, "trace_file": None,
+    })
+    report = render_report(records, spec)
+    assert "FAILED TASKS (1)" in report
+    assert "fig12[reorder_delay_us=9999]: timeout after 3 attempt(s)" \
+        in report
+
+
+def test_empty_store_renders_placeholder():
+    assert render_report([]) == "(no results in store)"
+
+
+def test_summarize_counts(tmp_path):
+    spec, store = run_tiny(tmp_path)
+    summary = summarize(store.load())
+    assert summary["tasks"] == 2
+    assert summary["ok"] == 2
+    assert summary["failed"] == 0
+    assert summary["attempts"] == 2
+    assert summary["campaigns"] == ["t"]
+    assert summary["experiments"]["fig12"]["rows"] == 2
+    # The summary must be JSON-serialisable as-is.
+    json.dumps(summary)
