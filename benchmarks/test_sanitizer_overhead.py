@@ -1,0 +1,105 @@
+"""JSAN overhead guard: disabled sanitizing must be free on the hot path.
+
+The contract (docs/analysis.md, mirroring the tracing guard in
+``test_trace_overhead.py``): with no sanitizer installed, the
+``JugglerGRO.receive`` hot path pays one ``if sanitizer is not None`` test
+per hook and allocates nothing from ``repro.analysis``.  The guard is
+two-fold:
+
+1. **No allocation**: ``tracemalloc`` sees zero allocations from
+   ``repro/analysis/`` while driving the disabled engine through the same
+   workload as ``test_core_microbench``.
+2. **< 5% runtime**: best-of-interleaved-rounds of the disabled path is at
+   most 5% of the way past the enabled path, which pays for the real
+   invariant audits on top of the same guards.
+"""
+
+import time
+import tracemalloc
+
+from conftest import show
+from test_core_microbench import N, shuffled_stream
+
+from repro.analysis import runtime
+from repro.analysis.sanitizer import Sanitizer
+from repro.core import JugglerConfig, JugglerGRO
+
+
+def _drive(gro, packets):
+    for i, packet in enumerate(packets):
+        gro.receive(packet, now=i * 100)
+        if i % 64 == 0:
+            gro.poll_complete(now=i * 100)
+    gro.flush_all(now=N * 100)
+    return gro
+
+
+def _drive_disabled(packets):
+    # Pin JSAN off even when the suite itself runs under JUGGLER_SANITIZE=1:
+    # this benchmark measures the disabled path's cost specifically.
+    gro = JugglerGRO(lambda s: None, config=JugglerConfig())
+    gro.attach_sanitizer(None)
+    return _drive(gro, packets)
+
+
+def _drive_enabled(packets):
+    gro = JugglerGRO(lambda s: None, config=JugglerConfig())
+    gro.attach_sanitizer(Sanitizer())
+    return _drive(gro, packets)
+
+
+def _time(fn, packets):
+    start = time.perf_counter()
+    fn(packets)
+    return time.perf_counter() - start
+
+
+def test_disabled_sanitizer_allocates_nothing():
+    packets = shuffled_stream()
+    runtime.uninstall()  # keep construction off the env-probe path too
+    try:
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot()
+            gro = _drive_disabled(packets)
+            after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+    finally:
+        runtime.reset()
+    assert gro.stats.packets == N
+    assert gro.sanitizer is None
+    sanitizer_allocs = [
+        stat for stat in after.compare_to(before, "filename")
+        if "repro/analysis/" in stat.traceback[0].filename.replace("\\", "/")
+        and stat.size_diff > 0
+    ]
+    assert sanitizer_allocs == [], (
+        f"disabled-JSAN run allocated in repro.analysis: {sanitizer_allocs}")
+
+
+def test_disabled_sanitizer_overhead_under_5pct(benchmark):
+    packets = shuffled_stream()
+    rounds = 5
+    disabled, enabled = [], []
+    _drive_disabled(packets)  # warm caches before timing
+    for _ in range(rounds):   # interleave to share any machine noise
+        disabled.append(_time(_drive_disabled, packets))
+        enabled.append(_time(_drive_enabled, packets))
+    best_disabled = min(disabled)
+    best_enabled = min(enabled)
+
+    gro = benchmark.pedantic(_drive_disabled, args=(packets,),
+                             rounds=1, iterations=1)
+    assert gro.stats.packets == N
+
+    show("Microbench — JSAN overhead on the receive path",
+         f"  disabled: {N / best_disabled / 1e3:.0f} kpps;  "
+         f"sanitized: {N / best_enabled / 1e3:.0f} kpps  "
+         f"(best of {rounds} interleaved rounds)\n"
+         f"  sanitizing pays {100 * (best_enabled / best_disabled - 1):.1f}% "
+         f"for the invariant audits")
+    # The enabled path runs the same guards *plus* full invariant audits.
+    # If the guards alone cost < 5%, the disabled path must land at or
+    # below the enabled path (5% tolerance for timer noise).
+    assert best_disabled <= 1.05 * best_enabled

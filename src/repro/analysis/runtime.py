@@ -1,0 +1,76 @@
+"""Process-wide sanitizer installation — the same idiom as tracing.
+
+Engines and tables read :func:`current` once, at construction time, and
+keep the reference (or ``None``).  Three ways to turn JSAN on:
+
+* ``JUGGLER_SANITIZE=1`` in the environment — picked up lazily on the
+  first :func:`current` call, which is how the tier-1 suite and the CI
+  sanitize job run the whole stack under checking with zero code changes;
+* :func:`install` / :func:`uninstall` for explicit control;
+* the :func:`sanitizing` context manager to scope checking to one block.
+
+When nothing installs a sanitizer, :func:`current` returns ``None`` and
+every hook in the engine degrades to one attribute load and one identity
+test — see ``benchmarks/test_sanitizer_overhead.py``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+_current = None
+_env_checked = False
+
+
+def current() -> Optional["Sanitizer"]:
+    """The installed sanitizer, or None when sanitizing is disabled.
+
+    The first call consults ``JUGGLER_SANITIZE``; later calls are a plain
+    global read.
+    """
+    global _current, _env_checked
+    if _current is None and not _env_checked:
+        _env_checked = True
+        from repro.analysis.sanitizer import from_env
+
+        _current = from_env()
+    return _current
+
+
+def install(sanitizer: "Sanitizer") -> "Sanitizer":
+    """Make ``sanitizer`` process-wide for components built from now on."""
+    global _current, _env_checked
+    _current = sanitizer
+    _env_checked = True
+    return sanitizer
+
+
+def uninstall() -> None:
+    """Disable sanitizing for components built from now on."""
+    global _current, _env_checked
+    _current = None
+    _env_checked = True
+
+
+def reset() -> None:
+    """Forget any installation *and* re-arm the environment probe (tests)."""
+    global _current, _env_checked
+    _current = None
+    _env_checked = False
+
+
+@contextmanager
+def sanitizing(sanitizer: Optional["Sanitizer"] = None) -> Iterator["Sanitizer"]:
+    """Install a (fresh, by default) sanitizer for the duration of a block."""
+    global _current, _env_checked
+    if sanitizer is None:
+        from repro.analysis.sanitizer import Sanitizer
+
+        sanitizer = Sanitizer()
+    saved, saved_checked = _current, _env_checked
+    install(sanitizer)
+    try:
+        yield sanitizer
+    finally:
+        _current, _env_checked = saved, saved_checked

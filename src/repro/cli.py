@@ -9,6 +9,7 @@
     juggler-repro all --jobs 4                   # parallel, via campaign
     juggler-repro trace fig12                    # Chrome trace -> Perfetto
     juggler-repro trace fig12 --format jsonl --events flush,phase
+    juggler-repro analyze                        # determinism lint, exit!=0 on findings
     juggler-repro campaign run --spec sweep.json --store out.jsonl --jobs 4
     juggler-repro campaign resume --spec sweep.json --store out.jsonl
     juggler-repro campaign report --store out.jsonl --json summary.json
@@ -147,6 +148,10 @@ def main(argv=None) -> int:
         from repro.campaign.cli import main as campaign_main
 
         return campaign_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        from repro.analysis.cli import main as analyze_main
+
+        return analyze_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="juggler-repro",
         description="Run reproduced experiments from the Juggler paper "

@@ -14,8 +14,9 @@ instantiates its data structures per-queue.  The engine:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
+from repro.analysis import runtime as sanitize_runtime
 from repro.core.base import DeliverFn, GroEngine
 from repro.core.config import JugglerConfig
 from repro.core.flow_entry import FlowEntry
@@ -41,11 +42,21 @@ class JugglerGRO(GroEngine):
         self.config = config if config is not None else JugglerConfig()
         self.table = GroTable(self.config.table_capacity)
         self.table.tracer = self.tracer
+        #: None = sanitizing disabled (the common case); every hook below
+        #: guards on this, so the hot path pays one identity test and
+        #: allocates nothing — the same contract as ``self.tracer``.
+        self.sanitizer = sanitize_runtime.current()
+        self.table.sanitizer = self.sanitizer
 
     def attach_tracer(self, tracer) -> None:
         """Enable tracing on engine and table together."""
         super().attach_tracer(tracer)
         self.table.tracer = tracer
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Enable (or with None, disable) JSAN on engine and table."""
+        self.sanitizer = sanitizer
+        self.table.sanitizer = sanitizer
 
     # -- public state inspection (Figs. 15, 16 sample these) ----------------
 
@@ -114,6 +125,8 @@ class JugglerGRO(GroEngine):
             self._receive_established(entry, packet, now)
 
         self._event_checks(entry, now)
+        if self.sanitizer is not None:
+            self.sanitizer.check_flow(entry)
 
     def _admit_new_flow(self, packet: Packet, now: int) -> FlowEntry:
         """Initial phase: create the entry, evicting if the table is full."""
@@ -212,6 +225,8 @@ class JugglerGRO(GroEngine):
                 self.tracer.merge(now, entry.key, packet.seq, packet.end_seq,
                                   result.scanned)
         entry.refresh_hole_state(now)
+        if self.sanitizer is not None:
+            self.sanitizer.check_ofo(entry)
 
     # -- event-driven flush checks (rows 1-4 of Table 2) ----------------------
 
@@ -239,6 +254,8 @@ class JugglerGRO(GroEngine):
         self._after_flush_transitions(entry, now)
 
     def _flush_head(self, entry: FlowEntry, reason: FlushReason, now: int) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.check_event_flush(entry, reason)
         node = entry.ofo.pop_head()
         if entry.phase is Phase.BUILD_UP:
             self.table.move(entry, Phase.ACTIVE_MERGE, now)
@@ -259,6 +276,8 @@ class JugglerGRO(GroEngine):
         """End of a NAPI polling cycle: run the timeout checks (§4.1)."""
         self.accountant.on_poll()
         self.check_timeouts(now)
+        if self.sanitizer is not None:
+            self.sanitizer.check_table(self.table)
 
     def check_timeouts(self, now: int) -> None:
         """inseq/ofo timeout sweep — poll completions and the hrtimer."""
@@ -277,6 +296,9 @@ class JugglerGRO(GroEngine):
     def _inseq_timeout_fire(self, entry: FlowEntry, now: int) -> None:
         """Flush the in-order run at the head — don't delay it any longer."""
         assert entry.seq_next is not None
+        if self.sanitizer is not None:
+            self.sanitizer.check_inseq_timeout(entry, now,
+                                               self.config.inseq_timeout)
         run = entry.ofo.pop_inseq_run(entry.seq_next)
         if not run:
             return
@@ -292,6 +314,9 @@ class JugglerGRO(GroEngine):
         """The missing packet is presumed lost: flush everything, enter loss
         recovery (§4.2.5, Figure 7)."""
         assert entry.seq_next is not None
+        if self.sanitizer is not None:
+            self.sanitizer.check_ofo_timeout(entry, now,
+                                             self.config.ofo_timeout)
         nodes = entry.ofo.pop_all()
         if entry.phase is not Phase.LOSS_RECOVERY:
             # Remember only the *first* lost packet (best-effort design).
@@ -318,10 +343,21 @@ class JugglerGRO(GroEngine):
                     deadline = candidate
         return deadline
 
+    # -- delivery interposition (Table 2 reason validity) ---------------------
+
+    def _deliver_segment(self, segment: Segment, reason: FlushReason,
+                         now: int) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.check_flush_reason(segment.flow, reason)
+        super()._deliver_segment(segment, reason, now)
+
     # -- eviction and teardown ------------------------------------------------
 
     def _evict(self, entry: FlowEntry, now: int) -> None:
         """Flush all of a victim's packets and drop its state (§4.3)."""
+        if self.sanitizer is not None:
+            self.sanitizer.check_eviction(self.table, entry,
+                                          self.config.eviction_policy)
         self.stats.record_eviction(entry.phase)
         if self.tracer is not None:
             self.tracer.eviction(now, entry.key, entry.phase)

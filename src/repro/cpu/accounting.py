@@ -9,7 +9,6 @@ charges the RX core meter.  Experiments that don't study CPU pass the
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.cpu.costs import CostTable, DEFAULT_COSTS
 from repro.cpu.meter import CoreMeter

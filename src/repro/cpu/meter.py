@@ -13,6 +13,7 @@ class CoreMeter:
 
     def __init__(self, name: str = "core"):
         self.name = name
+        # det: allow(float-ns) -- accumulator of fractional modeled work, not an event timestamp; never feeds back into scheduling
         self._busy_ns = 0.0
         self._mark_busy = 0.0
         self._mark_time = 0

@@ -16,7 +16,6 @@ constantly leave and re-enter Juggler.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -27,6 +26,7 @@ from repro.fabric.topology import build_netfpga_pair
 from repro.harness.reporting import format_table
 from repro.nic.nic import NicConfig
 from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
 from repro.sim.time import MS, US
 from repro.tcp.config import TcpConfig
 from repro.tcp.connection import Connection
@@ -60,7 +60,7 @@ class AblationPoint:
 
 def _run_stress(params: AblationParams, config: JugglerConfig) -> AblationPoint:
     engine = Engine()
-    rng = random.Random(params.seed)
+    rng = RngRegistry(params.seed).stream("workload")
     bed = build_netfpga_pair(
         engine,
         rng,

@@ -18,8 +18,7 @@ Paper results this experiment reproduces:
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.core.config import JugglerConfig

@@ -13,7 +13,6 @@ as batching rises.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import List
 
@@ -29,6 +28,7 @@ from repro.fabric.topology import build_netfpga_pair
 from repro.harness.reporting import format_table
 from repro.nic.nic import NicConfig
 from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
 from repro.sim.time import MS, US
 from repro.tcp.config import TcpConfig
 from repro.tcp.connection import Connection
@@ -90,7 +90,7 @@ def run_point(params: Fig12Params, *, reorder_delay_us: int,
 def run_cell(params: Fig12Params, reorder_us: int, inseq_us: int) -> Fig12Point:
     """One (τ, inseq_timeout) measurement."""
     engine = Engine()
-    rng = random.Random(params.seed)
+    rng = RngRegistry(params.seed).stream("fabric")
     cpu = HostCpu(engine)
     config = JugglerConfig(
         inseq_timeout=inseq_us * US,

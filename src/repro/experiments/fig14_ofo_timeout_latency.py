@@ -14,7 +14,6 @@ sit in Juggler's OOO queue instead of triggering duplicate ACKs.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import List
 
@@ -26,6 +25,7 @@ from repro.harness.metrics import percentiles
 from repro.harness.reporting import format_table
 from repro.nic.nic import NicConfig
 from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
 from repro.sim.time import MS, US
 from repro.tcp.config import TcpConfig
 from repro.tcp.connection import Connection
@@ -87,7 +87,7 @@ def run_point(params: Fig14Params, *, reorder_delay_us: int,
 def run_cell(params: Fig14Params, reorder_us: int, ofo_us: int) -> Fig14Point:
     """One (τ, ofo_timeout) measurement."""
     engine = Engine()
-    rng = random.Random(params.seed)
+    rng = RngRegistry(params.seed).stream("fabric")
     config = JugglerConfig(
         inseq_timeout=params.inseq_timeout_us * US,
         ofo_timeout=ofo_us * US,

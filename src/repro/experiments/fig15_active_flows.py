@@ -11,7 +11,6 @@ flows send single-MTU TSO bursts that reordering cannot split.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import List
 
@@ -23,6 +22,7 @@ from repro.harness.metrics import Sampler, percentile
 from repro.harness.reporting import format_table
 from repro.nic.nic import NicConfig
 from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
 from repro.sim.time import MS, US
 from repro.tcp.config import TcpConfig
 from repro.tcp.connection import Connection
@@ -82,7 +82,7 @@ def run_point(params: Fig15Params, *, reorder_delay_us: int,
 def run_cell(params: Fig15Params, nflows: int, reorder_us: int) -> Fig15Point:
     """One (N, τ) measurement."""
     engine = Engine()
-    rng = random.Random(params.seed)
+    rng = RngRegistry(params.seed).stream("fabric")
     config = JugglerConfig(
         inseq_timeout=params.inseq_timeout_us * US,
         ofo_timeout=max(2 * reorder_us, 100) * US,

@@ -16,8 +16,7 @@ reordering tax eats into the benefit (and hurts the elephants).
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.config import JugglerConfig

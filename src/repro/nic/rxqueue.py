@@ -12,7 +12,7 @@ interval and in one high resolution timer callback per gro_table").
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque
 
 from repro.core.base import GroEngine
 from repro.net.packet import Packet

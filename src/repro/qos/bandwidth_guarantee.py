@@ -16,7 +16,7 @@ from typing import List, Optional
 from repro.net.constants import PRIORITY_HIGH, PRIORITY_LOW
 from repro.net.packet import Packet
 from repro.sim.engine import Engine
-from repro.sim.time import SEC, US
+from repro.sim.time import US
 from repro.tcp.sender import TcpSender
 
 

@@ -59,6 +59,7 @@ class PoissonPacketSource:
         self.load_gbps = load_gbps
         self.stop_at_ns = stop_at_ns
         #: ns between packets so wire_bits/interarrival == load.
+        # det: allow(float-ns) -- rate parameter for expovariate, not a timestamp; drawn gaps are rounded to integer ns in _next_gap
         self.mean_interarrival_ns = wire_bytes(MSS) * 8 / load_gbps
         self._flows: List[FiveTuple] = [
             FiveTuple(src, dst, 20000 + i, 20000) for i in range(num_flows)

@@ -59,6 +59,7 @@ class RpcWorkload:
         self.load_gbps = load_gbps
         self.stop_at_ns = stop_at_ns
         #: Mean inter-arrival in ns so that size*8/interarrival == load.
+        # det: allow(float-ns) -- rate parameter for expovariate, not a timestamp; drawn gaps are rounded to integer ns at draw time
         self.mean_interarrival_ns = rpc_bytes * 8 / load_gbps
         self.records: List[RpcRecord] = []
         self.issued = 0

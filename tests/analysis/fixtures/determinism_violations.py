@@ -1,0 +1,43 @@
+"""Seeded lint fixture: one specimen of every banned pattern.
+
+Never imported by the suite — read from disk by tests/analysis to prove
+that ``juggler-repro analyze`` exits nonzero on a dirty tree and that each
+rule fires.  Paths outside the policy map lint under the strict policy, so
+every rule below is live here.
+"""
+
+import random
+import time
+
+
+def wall_clock_read():
+    return time.time()
+
+
+def global_stream_draw():
+    return random.random()
+
+
+def raw_rng_construction(seed):
+    return random.Random(seed)
+
+
+def mutable_default(items=[]):
+    items.append(1)
+    return items
+
+
+def set_iteration_feeds_results():
+    out = []
+    for name in {"b", "a", "c"}:
+        out.append(name)
+    return out
+
+
+def float_ns_timestamp(now):
+    deadline_ns = now * 1.5
+    return deadline_ns
+
+
+def unjustified_pragma():
+    return random.choice([1, 2])  # det: allow(global-random)

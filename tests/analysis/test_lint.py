@@ -1,0 +1,246 @@
+"""Each determinism rule fires on a minimal specimen — and only there."""
+
+import os
+
+from repro.analysis.lint import lint_source, lint_tree
+from repro.analysis.policy import (
+    BAD_PRAGMA,
+    FLOAT_NS,
+    GLOBAL_RANDOM,
+    MUTABLE_DEFAULT,
+    RAW_RNG,
+    RELAXED,
+    SET_ITERATION,
+    STANDARD,
+    STRICT,
+    WALL_CLOCK,
+    policy_for,
+)
+
+STRICT_PATH = "src/repro/core/specimen.py"
+
+
+def rules(source, path=STRICT_PATH):
+    return [f.rule for f in lint_source(source, path)]
+
+
+# --- wall-clock ---------------------------------------------------------------
+
+
+def test_time_module_calls_flagged():
+    assert rules("import time\nt = time.time()\n") == [WALL_CLOCK]
+    assert rules("import time\nt = time.monotonic_ns()\n") == [WALL_CLOCK]
+    assert rules("import time\nt = time.perf_counter()\n") == [WALL_CLOCK]
+
+
+def test_from_time_import_flagged():
+    assert rules("from time import monotonic\n") == [WALL_CLOCK]
+
+
+def test_datetime_now_flagged():
+    src = "import datetime\nd = datetime.datetime.now()\n"
+    assert rules(src) == [WALL_CLOCK]
+
+
+def test_time_sleep_is_not_a_clock_read():
+    assert rules("import time\ntime.sleep(0)\n") == []
+
+
+# --- global-random / raw-rng --------------------------------------------------
+
+
+def test_global_stream_call_flagged():
+    assert rules("import random\nx = random.random()\n") == [GLOBAL_RANDOM]
+    assert rules("import random\nx = random.choice([1])\n") == [GLOBAL_RANDOM]
+
+
+def test_from_random_import_flagged():
+    assert rules("from random import choice\n") == [GLOBAL_RANDOM]
+
+
+def test_system_random_flagged():
+    src = "import random\nr = random.SystemRandom()\n"
+    assert rules(src) == [GLOBAL_RANDOM]
+
+
+def test_raw_rng_construction_flagged():
+    src = "import random\nr = random.Random(7)\n"
+    assert rules(src) == [RAW_RNG]
+
+
+def test_random_type_annotation_is_fine():
+    src = ("import random\n"
+           "def f(rng: random.Random) -> None:\n"
+           "    rng.shuffle([])\n")
+    assert rules(src) == []
+
+
+def test_unused_import_random_flagged():
+    assert rules("import random\n") == [GLOBAL_RANDOM]
+
+
+def test_rng_registry_module_exemption():
+    src = "import random\nr = random.Random(7)\n"
+    assert rules(src, "src/repro/sim/rng.py") == []
+
+
+# --- mutable-default ----------------------------------------------------------
+
+
+def test_mutable_default_list_flagged():
+    assert rules("def f(x=[]):\n    return x\n") == [MUTABLE_DEFAULT]
+
+
+def test_mutable_default_constructor_and_kwonly_flagged():
+    src = "def f(*, cache=dict()):\n    return cache\n"
+    assert rules(src) == [MUTABLE_DEFAULT]
+
+
+def test_none_default_is_fine():
+    assert rules("def f(x=None, y=0, z=()):\n    return x\n") == []
+
+
+# --- set-iteration ------------------------------------------------------------
+
+
+def test_for_loop_over_set_flagged():
+    src = "for x in {1, 2}:\n    print(x)\n"
+    assert rules(src) == [SET_ITERATION]
+
+
+def test_comprehension_over_set_flagged():
+    assert rules("out = [x for x in {1, 2}]\n") == [SET_ITERATION]
+
+
+def test_list_of_set_call_flagged():
+    assert rules("out = list(set([2, 1]))\n") == [SET_ITERATION]
+
+
+def test_join_over_set_flagged():
+    assert rules("s = ','.join({'a', 'b'})\n") == [SET_ITERATION]
+
+
+def test_sorted_set_is_fine():
+    assert rules("out = sorted({2, 1})\n") == []
+    assert rules("for x in sorted({2, 1}):\n    print(x)\n") == []
+
+
+def test_building_a_set_is_fine():
+    assert rules("seen = {x for x in [1, 2]}\nok = 3 in seen\n") == []
+
+
+# --- float-ns -----------------------------------------------------------------
+
+
+def test_float_constant_into_ns_name_flagged():
+    assert rules("deadline_ns = t * 1.5\n") == [FLOAT_NS]
+
+
+def test_true_division_into_ns_name_flagged():
+    assert rules("self.hole_since = gap / 2\n") == [FLOAT_NS]
+
+
+def test_augmented_division_flagged():
+    assert rules("now = 0\nnow /= 2\n") == [FLOAT_NS]
+
+
+def test_integralised_division_is_fine():
+    assert rules("deadline_ns = int(t / 2)\n") == []
+    assert rules("deadline_ns = round(t / 2)\n") == []
+    assert rules("deadline_ns = t // 2\n") == []
+
+
+def test_non_ns_name_is_fine():
+    assert rules("ratio = t / 2\n") == []
+
+
+# --- policies -----------------------------------------------------------------
+
+
+def test_policy_resolution():
+    assert policy_for("src/repro/core/juggler.py") is STRICT
+    assert policy_for("src/repro/experiments/common.py") is STANDARD
+    assert policy_for("src/repro/campaign/scheduler.py") is RELAXED
+    # Unknown paths (fixtures, scripts) lint under the strict policy.
+    assert policy_for("tests/analysis/fixtures/x.py") is STRICT
+
+
+def test_relaxed_policy_allows_wall_clock():
+    src = "import time\nstarted = time.perf_counter()\n"
+    assert rules(src, "src/repro/campaign/scheduler.py") == []
+
+
+def test_relaxed_policy_still_bans_global_random():
+    src = "import random\nx = random.random()\n"
+    assert rules(src, "src/repro/campaign/scheduler.py") == [GLOBAL_RANDOM]
+
+
+def test_standard_policy_skips_float_ns():
+    assert rules("deadline_ns = t * 1.5\n",
+                 "src/repro/experiments/common.py") == []
+
+
+# --- pragmas ------------------------------------------------------------------
+
+
+def test_justified_pragma_waives_same_line():
+    src = ("import time\n"
+           "t = time.time()  # det: allow(wall-clock) -- host display only\n")
+    assert rules(src) == []
+
+
+def test_justified_pragma_waives_preceding_line():
+    src = ("import time\n"
+           "# det: allow(wall-clock) -- host display only\n"
+           "t = time.time()\n")
+    assert rules(src) == []
+
+
+def test_pragma_two_lines_above_does_not_waive():
+    src = ("import time\n"
+           "# det: allow(wall-clock) -- too far away\n"
+           "\n"
+           "t = time.time()\n")
+    assert rules(src) == [WALL_CLOCK]
+
+
+def test_pragma_for_wrong_rule_does_not_waive():
+    src = ("import time\n"
+           "t = time.time()  # det: allow(float-ns) -- wrong rule\n")
+    assert WALL_CLOCK in rules(src)
+
+
+def test_pragma_without_justification_is_a_finding():
+    src = ("import time\n"
+           "t = time.time()  # det: allow(wall-clock)\n")
+    findings = lint_source(src, STRICT_PATH)
+    assert [f.rule for f in findings] == [BAD_PRAGMA]
+    assert "justification" in findings[0].message
+
+
+def test_pragma_with_unknown_rule_is_a_finding():
+    findings = lint_source("x = 1  # det: allow(nonsense)\n", STRICT_PATH)
+    assert [f.rule for f in findings] == [BAD_PRAGMA]
+    assert "nonsense" in findings[0].message
+
+
+# --- whole files --------------------------------------------------------------
+
+
+def test_syntax_error_reported_as_finding():
+    findings = lint_source("def broken(:\n", STRICT_PATH)
+    assert [f.rule for f in findings] == ["syntax-error"]
+
+
+def test_finding_render_format():
+    findings = lint_source("deadline_ns = t * 1.5\n", STRICT_PATH)
+    rendered = findings[0].render()
+    assert rendered.startswith(f"{STRICT_PATH}:1:")
+    assert "[float-ns]" in rendered
+
+
+def test_shipped_tree_is_clean():
+    import repro
+
+    tree = os.path.dirname(os.path.abspath(repro.__file__))
+    assert lint_tree(tree) == []

@@ -85,9 +85,15 @@ def test_evictable_rank_ordering():
 
 
 def add(table, i, phase=Phase.BUILD_UP):
+    # Admit the way the engine does (build-up / active-merge only), then
+    # walk to the requested phase through legal Table 1 transitions —
+    # keeps these fixtures valid under JUGGLER_SANITIZE=1.
     e = entry(i)
-    e.phase = phase
+    e.phase = phase if phase in (Phase.BUILD_UP, Phase.ACTIVE_MERGE) \
+        else Phase.ACTIVE_MERGE
     table.add(e)
+    if e.phase is not phase:
+        table.move(e, phase)
     return e
 
 
@@ -123,10 +129,14 @@ def test_move_rehomes_entry():
     table = GroTable(4)
     e = add(table, 0)
     assert table.active_len == 1
+    table.move(e, Phase.ACTIVE_MERGE)
+    assert table.active_len == 1
     table.move(e, Phase.POST_MERGE)
     assert table.active_len == 0
     assert table.inactive_len == 1
+    table.move(e, Phase.ACTIVE_MERGE)
     table.move(e, Phase.LOSS_RECOVERY)
+    assert table.inactive_len == 0
     assert table.loss_recovery_len == 1
 
 
