@@ -66,6 +66,11 @@ def test_campaign_scaling(tmp_path, benchmark):
     # Parallelism must never change the numbers, only the wall-clock.
     assert _rows(tmp_path, 1) == _rows(tmp_path, JOBS)
 
+    cpu_count = os.cpu_count() or 1
+    #: With fewer cores than workers the speedup measures the scheduler's
+    #: timeslicing, not the runner — the record is marked so nothing
+    #: downstream treats it as a scaling data point.
+    degenerate = cpu_count < JOBS
     record = {
         "experiment": "fig13 reduced grid (2 delays x 4 timeouts)",
         "tasks": len(expand(SPEC)),
@@ -73,15 +78,34 @@ def test_campaign_scaling(tmp_path, benchmark):
         "serial_s": round(serial_s, 3),
         "parallel_s": round(parallel_s, 3),
         "speedup": round(speedup, 2),
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        "degenerate": degenerate,
     }
     out = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+    existing_healthy = False
+    if out.exists():
+        try:
+            existing = json.loads(out.read_text())
+            existing_healthy = not existing.get(
+                "degenerate", existing.get("cpu_count", 0) < existing.get(
+                    "jobs", JOBS))
+        except (ValueError, AttributeError):
+            existing_healthy = False
+    if degenerate and existing_healthy:
+        # Never clobber a healthy multi-core baseline with a timeslicing
+        # artifact from a 1-core runner.
+        show("Campaign scaling — degenerate run (too few cores), "
+             "keeping the existing healthy baseline",
+             f"  cores: {cpu_count} < jobs={JOBS}; measured "
+             f"{speedup:.2f}x (not recorded)")
+        return
     out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
 
     show("Campaign scaling — serial vs 4 workers on reduced fig13",
          f"  serial: {serial_s:.2f}s   jobs={JOBS}: {parallel_s:.2f}s   "
-         f"speedup: {speedup:.2f}x\n"
-         f"  written to {out.name}")
+         f"speedup: {speedup:.2f}x"
+         + ("   [degenerate: fewer cores than workers]" if degenerate else "")
+         + f"\n  written to {out.name}")
     # Loose floor, only meaningful with enough cores: fan-out must at
     # least pay for its own process overhead.  Real speedup on 4 idle
     # cores is ~2-3.5x.  On smaller machines the run still records the

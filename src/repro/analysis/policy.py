@@ -102,6 +102,9 @@ PACKAGE_POLICIES: Dict[str, Policy] = {
     "campaign": RELAXED,
     "harness": RELAXED,
     "cli": RELAXED,
+    # Benchmarks measure host wall-clock by design; their workloads stay
+    # seeded and fixed-size.
+    "perf": RELAXED,
 }
 
 #: Module-level exemptions: (package, module) pairs allowed specific rules

@@ -10,6 +10,7 @@
     juggler-repro trace fig12                    # Chrome trace -> Perfetto
     juggler-repro trace fig12 --format jsonl --events flush,phase
     juggler-repro analyze                        # determinism lint, exit!=0 on findings
+    juggler-repro bench --check                  # hot-path microbenches vs BENCH_core.json
     juggler-repro campaign run --spec sweep.json --store out.jsonl --jobs 4
     juggler-repro campaign resume --spec sweep.json --store out.jsonl
     juggler-repro campaign report --store out.jsonl --json summary.json
@@ -152,6 +153,10 @@ def main(argv=None) -> int:
         from repro.analysis.cli import main as analyze_main
 
         return analyze_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.perf.cli import main as bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="juggler-repro",
         description="Run reproduced experiments from the Juggler paper "

@@ -48,6 +48,17 @@ class GroEngine(abc.ABC):
     def receive(self, packet: Packet, now: int) -> None:
         """Process one packet arriving from the driver at time ``now``."""
 
+    def receive_batch(self, packets, now: int) -> None:
+        """Process one NAPI poll's worth of packets, all at time ``now``.
+
+        The NAPI layer hands the whole poll batch down at once (the kernel
+        equivalent: the driver's poll loop calling ``napi_gro_receive`` per
+        descriptor inside one softirq).  Engines may override this to hoist
+        per-packet overhead out of the loop; the default just loops.
+        """
+        for packet in packets:
+            self.receive(packet, now)
+
     @abc.abstractmethod
     def poll_complete(self, now: int) -> None:
         """NAPI polling cycle finished; run end-of-poll housekeeping."""

@@ -59,7 +59,7 @@ class ChainedGRO(GroEngine):
             self.stats.merges += 1
             self.accountant.on_merge(BatchingMode.LINKED_LIST)
 
-        if packet.flags.forces_flush:
+        if packet.forces_flush:
             self._flush(packet.flow, FlushReason.FLAGS, now)
         elif self._chain_bytes[packet.flow] + MSS > self.max_segment_bytes:
             self._flush(packet.flow, FlushReason.SEGMENT_FULL, now)

@@ -128,6 +128,45 @@ class JugglerGRO(GroEngine):
         if self.sanitizer is not None:
             self.sanitizer.check_flow(entry)
 
+    def receive_batch(self, packets, now: int) -> None:
+        """One NAPI poll's packets through the same per-packet pipeline.
+
+        Mirrors :meth:`receive` exactly (same calls, same order) with the
+        engine-level attribute lookups hoisted out of the loop — at tens of
+        packets per poll that is the receive path's dominant interpreter
+        overhead.  Any behavioural change must be made in both places.
+        """
+        accountant = self.accountant
+        tracer = self.tracer
+        sanitizer = self.sanitizer
+        stats = self.stats
+        lookup = self.table.lookup
+        protocols = self.config.protocols
+        buildup = Phase.BUILD_UP
+        for packet in packets:
+            accountant.on_rx_packet()
+            accountant.on_gro_packet()
+            if tracer is not None:
+                tracer.packet_rx(now, packet.flow, packet.seq,
+                                 packet.end_seq, packet.payload_len)
+            if (packet.payload_len == 0
+                    or packet.flow.proto not in protocols):
+                self._passthrough(packet, now)
+                continue
+            stats.packets += 1
+            entry = lookup(packet.flow)
+            if entry is None:
+                entry = self._admit_new_flow(packet, now)
+            entry.last_seen = now
+            if entry.phase is buildup:
+                entry.learn_seq_next(packet.seq)
+                self._buffer_packet(entry, packet, now)
+            else:
+                self._receive_established(entry, packet, now)
+            self._event_checks(entry, now)
+            if sanitizer is not None:
+                sanitizer.check_flow(entry)
+
     def _admit_new_flow(self, packet: Packet, now: int) -> FlowEntry:
         """Initial phase: create the entry, evicting if the table is full."""
         if self.table.full:

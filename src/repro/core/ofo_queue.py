@@ -14,34 +14,49 @@ count is surfaced so the CPU model can charge it (§3.2's concern that
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
 from repro.net.packet import Packet
 from repro.net.segment import Segment
 
 
-@dataclass
 class InsertResult:
-    """Outcome of one :meth:`OfoQueue.insert`."""
+    """Outcome of one :meth:`OfoQueue.insert`.
 
-    #: Nodes examined while locating the insert position.
-    scanned: int
-    #: True if the packet merged into an existing node (vs new node).
-    merged: bool
-    #: True if the packet's bytes were already present — caller should pass
-    #: the duplicate up for TCP's dupACK machinery rather than buffer it.
-    duplicate: bool
+    Each queue owns a single instance that :meth:`OfoQueue.insert`
+    overwrites and returns — one insert per packet makes this the stack's
+    highest-frequency allocation otherwise.  Read it before the next
+    insert on the same queue.
+    """
+
+    __slots__ = ("scanned", "merged", "duplicate")
+
+    def __init__(self, scanned: int = 0, merged: bool = False,
+                 duplicate: bool = False):
+        #: Nodes examined while locating the insert position.
+        self.scanned = scanned
+        #: True if the packet merged into an existing node (vs new node).
+        self.merged = merged
+        #: True if the packet's bytes were already present — caller should
+        #: pass the duplicate up for TCP's dupACK machinery, not buffer it.
+        self.duplicate = duplicate
+
+    def _set(self, scanned: int, merged: bool, duplicate: bool) -> "InsertResult":
+        self.scanned = scanned
+        self.merged = merged
+        self.duplicate = duplicate
+        return self
 
 
 class OfoQueue:
     """Sorted, non-overlapping runs of buffered packets for one flow."""
 
-    __slots__ = ("nodes", "max_payload")
+    __slots__ = ("nodes", "max_payload", "_result")
 
     def __init__(self, max_payload: Optional[int] = None):
         self.nodes: List[Segment] = []
         self.max_payload = max_payload
+        self._result = InsertResult()
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -104,9 +119,9 @@ class OfoQueue:
         if pred is not None and packet.seq < pred.end_seq:
             # Overlaps existing buffered bytes: a duplicate/overlapping
             # retransmission.  Never buffer it twice.
-            return InsertResult(scanned, merged=False, duplicate=True)
+            return self._result._set(scanned, merged=False, duplicate=True)
         if succ is not None and packet.end_seq > succ.seq:
-            return InsertResult(scanned, merged=False, duplicate=True)
+            return self._result._set(scanned, merged=False, duplicate=True)
 
         if pred is not None and pred.can_append(packet, self.max_payload):
             pred.append(packet)
@@ -114,14 +129,14 @@ class OfoQueue:
             if succ is not None and pred.can_extend(succ, self.max_payload):
                 pred.extend(succ)
                 nodes.pop(idx)
-            return InsertResult(scanned, merged=True, duplicate=False)
+            return self._result._set(scanned, merged=True, duplicate=False)
 
         if succ is not None and succ.can_prepend(packet, self.max_payload):
             succ.prepend(packet)
-            return InsertResult(scanned, merged=True, duplicate=False)
+            return self._result._set(scanned, merged=True, duplicate=False)
 
         nodes.insert(idx, Segment([packet]))
-        return InsertResult(scanned, merged=False, duplicate=False)
+        return self._result._set(scanned, merged=False, duplicate=False)
 
     def pop_head(self) -> Segment:
         """Remove and return the lowest-sequence run."""

@@ -116,7 +116,7 @@ class QueuedLink:
             and packet.payload_len > 0
             and self._queue_bytes[level] > self.ecn_threshold_bytes
         ):
-            packet.ce = True
+            packet.mark_ce()
             self.stats.ce_marked += 1
         self._queues[level].append(packet)
         self._queue_bytes[level] += packet.wire_len

@@ -4,21 +4,45 @@ Juggler keys its ``gro_table`` entries "by the canonical five-tuple" (§4.1);
 the NIC's RSS hash that spreads flows across receive queues uses the same
 tuple.  We model addresses as small integers (host ids / port numbers) —
 sufficient for hashing and equality, which is all the stack inspects.
+
+``FiveTuple`` is the single hottest dictionary key in the stack: every
+packet probes the ``gro_table`` (and the host demux, and the stats map)
+with one.  It is therefore a slotted value class with its hash computed
+once at construction — as a ``NamedTuple`` it re-hashed all five fields on
+every probe, which profiling showed near the top of the receive path.
 """
 
 from __future__ import annotations
 
-from typing import NamedTuple
 
+class FiveTuple:
+    """(src addr, dst addr, src port, dst port, protocol).
 
-class FiveTuple(NamedTuple):
-    """(src addr, dst addr, src port, dst port, protocol)."""
+    Immutable by convention: nothing in the stack mutates a flow key after
+    construction (mutating one would corrupt every dict it keys).
+    """
 
-    src: int
-    dst: int
-    sport: int
-    dport: int
-    proto: int = 6  # TCP
+    __slots__ = ("src", "dst", "sport", "dport", "proto", "_hash")
+
+    def __init__(self, src: int, dst: int, sport: int, dport: int,
+                 proto: int = 6):
+        self.src = src
+        self.dst = dst
+        self.sport = sport
+        self.dport = dport
+        self.proto = proto  # 6 = TCP
+        self._hash = hash((src, dst, sport, dport, proto))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FiveTuple):
+            return (self.src == other.src and self.dst == other.dst
+                    and self.sport == other.sport
+                    and self.dport == other.dport
+                    and self.proto == other.proto)
+        return NotImplemented
 
     def reversed(self) -> "FiveTuple":
         """The tuple of the opposite direction (for ACKs)."""
@@ -32,7 +56,7 @@ class FiveTuple(NamedTuple):
         behaviour.  We use an FNV-1a style mix over the tuple fields.
         """
         h = 0xCBF29CE484222325
-        for field in self:
+        for field in (self.src, self.dst, self.sport, self.dport, self.proto):
             h ^= field & 0xFFFFFFFF
             h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
             h ^= h >> 29
@@ -40,3 +64,7 @@ class FiveTuple(NamedTuple):
 
     def __str__(self) -> str:
         return f"{self.src}:{self.sport}->{self.dst}:{self.dport}/{self.proto}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"FiveTuple(src={self.src}, dst={self.dst}, "
+                f"sport={self.sport}, dport={self.dport}, proto={self.proto})")

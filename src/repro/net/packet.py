@@ -38,6 +38,8 @@ class Packet:
         "received_at",
         "is_retransmission",
         "path_id",
+        "sig",
+        "forces_flush",
     )
 
     def __init__(
@@ -76,6 +78,50 @@ class Packet:
         self.received_at = 0
         self.is_retransmission = is_retransmission
         self.path_id = 0
+        # GRO-hot-path fields, precomputed once here instead of per merge
+        # check (IntFlag arithmetic is far too slow for a per-probe cost).
+        f = int(flags)
+        self.sig = (options, ce, f & ~0x08)  # ~PSH
+        self.forces_flush = (f & 0x2F) != 0  # PSH|URG|SYN|FIN|RST
+
+    def reset(
+        self,
+        flow: FiveTuple,
+        seq: int,
+        payload_len: int,
+        *,
+        flags: TcpFlags = TcpFlags.ACK,
+        ack: int = 0,
+        options: tuple = (),
+        ce: bool = False,
+        priority: int = PRIORITY_LOW,
+        tso_id: Optional[int] = None,
+        sent_at: int = 0,
+        is_retransmission: bool = False,
+        rwnd: Optional[int] = None,
+        sack: tuple = (),
+    ) -> "Packet":
+        """Reinitialise a recycled packet (see :class:`repro.net.pool.PacketPool`).
+
+        Identical to ``__init__`` except it runs on an existing instance; a
+        fresh ``pid`` is assigned so reordering bookkeeping never confuses
+        two wire packets that shared an object.
+        """
+        self.__init__(flow, seq, payload_len, flags=flags, ack=ack,
+                      options=options, ce=ce, priority=priority,
+                      tso_id=tso_id, sent_at=sent_at,
+                      is_retransmission=is_retransmission, rwnd=rwnd,
+                      sack=sack)
+        return self
+
+    def mark_ce(self) -> None:
+        """Set the ECN CE codepoint (done by congested links in flight).
+
+        Must go through this method: the merge signature includes the CE
+        mark, so the precomputed ``sig`` has to change with it.
+        """
+        self.ce = True
+        self.sig = (self.options, True, self.sig[2])
 
     @property
     def end_seq(self) -> int:
@@ -97,9 +143,10 @@ class Packet:
 
         Per Table 2, a packet that "differs from [the] in-sequence segment in
         TCP options, CE marks, etc" cannot be merged without losing
-        information TCP needs, and forces a flush.
+        information TCP needs, and forces a flush.  (Precomputed at
+        construction as :attr:`sig`; hot paths compare that directly.)
         """
-        return (self.options, self.ce, self.flags & ~TcpFlags.PSH)
+        return self.sig
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

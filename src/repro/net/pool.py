@@ -1,0 +1,69 @@
+"""A bounded free list for :class:`~repro.net.packet.Packet`.
+
+The background-load generators emit millions of short-lived packets per
+experiment (emit → traverse one queued link → discard).  Allocating a fresh
+``Packet`` for each is the simulator's analogue of the kernel allocating an
+sk_buff per frame — and the kernel's answer is the same one used here: a
+recycling pool (cf. ``skb_attempt_defer_free`` / page-pool recycling).
+
+Only terminal consumers may release a packet: whoever calls
+:meth:`PacketPool.release` asserts nothing else holds a reference.  GRO
+paths never release — buffered packets live inside Segments with arbitrary
+lifetime.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.net.packet import Packet
+
+#: Default free-list capacity; beyond this, released packets fall to the GC.
+POOL_MAX = 4096
+
+
+class PacketPool:
+    """Recycle terminal packets instead of re-allocating.
+
+    ``acquire`` has the exact signature of ``Packet(...)`` and returns a
+    fully re-initialised instance (fresh ``pid`` included), so call sites
+    swap ``Packet(...)`` for ``pool.acquire(...)`` with no other change.
+    """
+
+    __slots__ = ("_free", "max_size", "allocated", "recycled")
+
+    def __init__(self, max_size: int = POOL_MAX):
+        self._free: List[Packet] = []
+        self.max_size = max_size
+        #: Fresh constructions (pool misses).
+        self.allocated = 0
+        #: Acquisitions served from the free list.
+        self.recycled = 0
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def acquire(self, flow, seq: int, payload_len: int, **kwargs) -> Packet:
+        """A packet initialised exactly as ``Packet(flow, seq, payload_len,
+        **kwargs)`` would be."""
+        free = self._free
+        if free:
+            self.recycled += 1
+            return free.pop().reset(flow, seq, payload_len, **kwargs)
+        self.allocated += 1
+        return Packet(flow, seq, payload_len, **kwargs)
+
+    def release(self, packet: Packet) -> None:
+        """Return a dead packet.  Caller guarantees no live references."""
+        free = self._free
+        if len(free) < self.max_size:
+            free.append(packet)
+
+
+#: Shared no-op stand-in: ``Optional[PacketPool]`` call sites use ``None``.
+def pooled_or_new(pool: Optional[PacketPool], flow, seq: int,
+                  payload_len: int, **kwargs) -> Packet:
+    """``pool.acquire(...)`` when pooling is on, plain ``Packet`` otherwise."""
+    if pool is not None:
+        return pool.acquire(flow, seq, payload_len, **kwargs)
+    return Packet(flow, seq, payload_len, **kwargs)

@@ -35,27 +35,45 @@ class Segment:
     """
 
     __slots__ = ("flow", "seq", "end_seq", "mtus", "mode", "packets",
-                 "first_sent_at", "flushed_at", "in_order")
+                 "first_sent_at", "flushed_at", "in_order", "sig",
+                 "_payload", "_closed")
 
     def __init__(self, packets: List[Packet], mode: BatchingMode = BatchingMode.FRAGS_ARRAY):
         if not packets:
             raise ValueError("a Segment must contain at least one packet")
-        self.flow: FiveTuple = packets[0].flow
+        head = packets[0]
+        self.flow: FiveTuple = head.flow
         self.packets = packets
         self.mode = mode
-        self.seq = packets[0].seq
-        self.end_seq = packets[-1].end_seq
-        self.mtus = len(packets)
-        self.first_sent_at = min(p.sent_at for p in packets)
+        self.seq = head.seq
         self.flushed_at = 0
-        self.in_order = all(
-            packets[i].end_seq == packets[i + 1].seq for i in range(len(packets) - 1)
-        )
+        #: Head packet's merge signature; every later merge matched it, and
+        #: prepends may only add a packet with the same signature, so it is
+        #: the whole segment's signature.
+        self.sig = head.sig
+        if len(packets) == 1:
+            # The common case — GRO opens every run with a single packet.
+            self.end_seq = head.end_seq
+            self.mtus = 1
+            self.first_sent_at = head.sent_at
+            self.in_order = True
+            self._payload = head.payload_len
+            self._closed = head.forces_flush
+        else:
+            self.end_seq = packets[-1].end_seq
+            self.mtus = len(packets)
+            self.first_sent_at = min(p.sent_at for p in packets)
+            self.in_order = all(
+                packets[i].end_seq == packets[i + 1].seq
+                for i in range(len(packets) - 1)
+            )
+            self._payload = sum(p.payload_len for p in packets)
+            self._closed = packets[-1].forces_flush
 
     @property
     def payload_len(self) -> int:
-        """Total TCP payload bytes carried."""
-        return sum(p.payload_len for p in self.packets)
+        """Total TCP payload bytes carried (maintained incrementally)."""
+        return self._payload
 
     @property
     def contiguous(self) -> bool:
@@ -70,53 +88,45 @@ class Segment:
         necessitates urgent delivery", Table 2); the segment may still be
         buffered briefly but never grows.
         """
-        return self.packets[-1].flags.forces_flush
+        return self._closed
 
     @property
     def forces_flush(self) -> bool:
         """True if any packet inside carries an urgent-delivery flag."""
-        return any(p.flags.forces_flush for p in self.packets)
+        return any(p.forces_flush for p in self.packets)
 
     def can_append(self, packet: Packet, max_payload: int | None = None) -> bool:
         """Frags-array mergeability: next-in-sequence with matching headers."""
-        if self.closed:
+        if self._closed:
             return False
-        if max_payload is not None and self.payload_len + packet.payload_len > max_payload:
+        if max_payload is not None and self._payload + packet.payload_len > max_payload:
             return False
-        return (
-            packet.seq == self.end_seq
-            and packet.merge_signature() == self.packets[0].merge_signature()
-        )
+        return packet.seq == self.end_seq and packet.sig == self.sig
 
     def can_prepend(self, packet: Packet, max_payload: int | None = None) -> bool:
         """Mergeability at the head: packet ends exactly where we begin."""
-        if packet.flags.forces_flush and packet.end_seq != self.end_seq:
+        if packet.forces_flush and packet.end_seq != self.end_seq:
             # A PSH packet may only ever be a segment's tail.
             return False
-        if max_payload is not None and self.payload_len + packet.payload_len > max_payload:
+        if max_payload is not None and self._payload + packet.payload_len > max_payload:
             return False
-        return (
-            packet.end_seq == self.seq
-            and packet.merge_signature() == self.packets[0].merge_signature()
-        )
+        return packet.end_seq == self.seq and packet.sig == self.sig
 
     def can_extend(self, other: "Segment", max_payload: int | None = None) -> bool:
         """Whether ``other`` (the next node) can be folded onto our tail."""
-        if self.closed:
+        if self._closed:
             return False
-        if max_payload is not None and self.payload_len + other.payload_len > max_payload:
+        if max_payload is not None and self._payload + other._payload > max_payload:
             return False
-        return (
-            other.seq == self.end_seq
-            and other.packets[0].merge_signature()
-            == self.packets[0].merge_signature()
-        )
+        return other.seq == self.end_seq and other.sig == self.sig
 
     def append(self, packet: Packet) -> None:
         """Merge ``packet`` onto the tail (caller checked :meth:`can_append`)."""
         self.packets.append(packet)
         self.end_seq = packet.end_seq
         self.mtus += 1
+        self._payload += packet.payload_len
+        self._closed = packet.forces_flush
         if packet.sent_at < self.first_sent_at:
             self.first_sent_at = packet.sent_at
 
@@ -125,6 +135,7 @@ class Segment:
         self.packets.insert(0, packet)
         self.seq = packet.seq
         self.mtus += 1
+        self._payload += packet.payload_len
         if packet.sent_at < self.first_sent_at:
             self.first_sent_at = packet.sent_at
 
@@ -133,6 +144,8 @@ class Segment:
         self.packets.extend(other.packets)
         self.end_seq = other.end_seq
         self.mtus += other.mtus
+        self._payload += other._payload
+        self._closed = other._closed
         if other.first_sent_at < self.first_sent_at:
             self.first_sent_at = other.first_sent_at
 

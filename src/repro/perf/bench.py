@@ -1,0 +1,218 @@
+"""The pinned microbenchmark suite.
+
+Each bench is deterministic in *work* (seeded workload, fixed iteration
+counts) and measured in wall-clock; the reported value is the best of
+``rounds`` repetitions, which is the standard way to suppress scheduler
+noise when benchmarking a hot loop.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import JugglerConfig
+from repro.core.juggler import JugglerGRO
+from repro.core.standard_gro import StandardGRO
+from repro.perf import workloads
+from repro.sim.engine import Engine
+from repro.sim.timer import Timer
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered microbenchmark."""
+
+    name: str
+    unit: str
+    #: True: bigger value is better (a rate); False: smaller is better
+    #: (a footprint).
+    higher_is_better: bool
+    #: Returns (work_items, elapsed_seconds) — or, for footprint benches,
+    #: (value, None) with the value already in ``unit``.
+    run: Callable[[], tuple]
+    description: str = ""
+
+
+@dataclass
+class BenchResult:
+    """One bench's measured value (best across rounds)."""
+
+    name: str
+    unit: str
+    higher_is_better: bool
+    value: float
+    rounds: int
+
+
+def _timed_rate(work: Callable[[], int]) -> tuple:
+    """Run ``work`` once; return (items, elapsed)."""
+    gc.collect()
+    started = time.perf_counter()
+    items = work()
+    elapsed = time.perf_counter() - started
+    return items, max(elapsed, 1e-9)
+
+
+# -- GRO receive-path benches -------------------------------------------------
+
+#: Many-flows stream: the Figure 10 shape (256 flows, one queue), the
+#: acceptance workload for this optimization pass.
+_MANY_FLOWS_PKTS = 100
+#: Single-flow stream: the Figure 9 shape.
+_SINGLE_FLOW_PKTS = 20_000
+_BATCH = 32
+
+
+def _bench_juggler_many_flows() -> tuple:
+    packets = workloads.reordered_stream(workloads.MANY_FLOWS,
+                                         _MANY_FLOWS_PKTS)
+    gro = JugglerGRO(lambda s: None, config=JugglerConfig())
+    items, elapsed = _timed_rate(
+        lambda: workloads.drive_gro(gro, packets, batch=_BATCH) or len(packets))
+    assert gro.stats.packets == len(packets)
+    return items, elapsed
+
+
+def _bench_juggler_single_flow() -> tuple:
+    packets = workloads.reordered_stream(1, _SINGLE_FLOW_PKTS, window=16)
+    gro = JugglerGRO(lambda s: None, config=JugglerConfig())
+    items, elapsed = _timed_rate(
+        lambda: workloads.drive_gro(gro, packets, batch=_BATCH) or len(packets))
+    assert gro.stats.packets == len(packets)
+    return items, elapsed
+
+
+def _bench_standard_many_flows() -> tuple:
+    packets = workloads.reordered_stream(workloads.MANY_FLOWS,
+                                         _MANY_FLOWS_PKTS)
+    gro = StandardGRO(lambda s: None)
+    return _timed_rate(
+        lambda: workloads.drive_gro(gro, packets, batch=_BATCH) or len(packets))
+
+
+# -- engine benches -----------------------------------------------------------
+
+_CHURN_EVENTS = 200_000
+_CHURN_TIMERS = 64
+_CHURN_POLLS = 2_000
+
+
+def _bench_engine_events() -> tuple:
+    return _timed_rate(
+        lambda: workloads.engine_event_churn(Engine, _CHURN_EVENTS))
+
+
+def _bench_timer_rearm() -> tuple:
+    def work() -> int:
+        workloads.timer_rearm_churn(Engine, Timer, _CHURN_TIMERS,
+                                    _CHURN_POLLS)
+        return _CHURN_TIMERS * _CHURN_POLLS  # re-arm operations
+    return _timed_rate(work)
+
+
+# -- allocation bench ---------------------------------------------------------
+
+
+def _traced_peak_kb(work) -> float:
+    """Peak tracemalloc KB while running ``work`` once."""
+    gc.collect()
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        work()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 1024.0
+
+
+def _bench_alloc_gro_drive() -> tuple:
+    """Peak traced KB through the many-flows drive — the per-packet
+    allocation footprint of the GRO hot path.  Lower is better."""
+    packets = workloads.reordered_stream(workloads.MANY_FLOWS,
+                                         _MANY_FLOWS_PKTS)
+    gro = JugglerGRO(lambda s: None, config=JugglerConfig())
+    return _traced_peak_kb(
+        lambda: workloads.drive_gro(gro, packets, batch=_BATCH)), None
+
+
+def _bench_alloc_timer_churn() -> tuple:
+    """Peak traced KB under sustained hrtimer re-arm churn.
+
+    Every re-arm leaves a cancelled event behind; this is the direct
+    measure of tombstone residency in the engine (bounded by compaction,
+    unbounded before it).  Lower is better."""
+    return _traced_peak_kb(
+        lambda: workloads.timer_rearm_churn(Engine, Timer, _CHURN_TIMERS,
+                                            _CHURN_POLLS)), None
+
+
+BENCHES: Dict[str, BenchSpec] = {
+    spec.name: spec for spec in (
+        BenchSpec(
+            "gro.juggler_many_flows", "pkts/s", True,
+            _bench_juggler_many_flows,
+            "256 reordered flows through JugglerGRO (Figure 10 shape)"),
+        BenchSpec(
+            "gro.juggler_single_flow", "pkts/s", True,
+            _bench_juggler_single_flow,
+            "one reordered flow through JugglerGRO (Figure 9 shape)"),
+        BenchSpec(
+            "gro.standard_many_flows", "pkts/s", True,
+            _bench_standard_many_flows,
+            "256 reordered flows through StandardGRO"),
+        BenchSpec(
+            "engine.event_churn", "events/s", True,
+            _bench_engine_events,
+            "schedule/fire churn through the event engine"),
+        BenchSpec(
+            "engine.timer_rearm", "rearms/s", True,
+            _bench_timer_rearm,
+            "hrtimer re-arm churn (cancel + reschedule per poll)"),
+        BenchSpec(
+            "alloc.gro_drive_peak_kb", "KiB", False,
+            _bench_alloc_gro_drive,
+            "peak tracemalloc KiB across the many-flows drive"),
+        BenchSpec(
+            "alloc.timer_churn_peak_kb", "KiB", False,
+            _bench_alloc_timer_churn,
+            "peak tracemalloc KiB under hrtimer re-arm churn "
+            "(tombstone residency)"),
+    )
+}
+
+
+def run_benches(
+    names: Optional[List[str]] = None,
+    *,
+    rounds: int = 3,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, BenchResult]:
+    """Run the selected benches; report each one's best round."""
+    selected = list(BENCHES) if names is None else names
+    unknown = [n for n in selected if n not in BENCHES]
+    if unknown:
+        raise KeyError(f"unknown bench(es): {', '.join(unknown)}")
+    results: Dict[str, BenchResult] = {}
+    for name in selected:
+        spec = BENCHES[name]
+        best: Optional[float] = None
+        for _ in range(rounds):
+            items, elapsed = spec.run()
+            value = items if elapsed is None else items / elapsed
+            if best is None:
+                best = value
+            elif spec.higher_is_better:
+                best = max(best, value)
+            else:
+                best = min(best, value)
+        assert best is not None
+        results[name] = BenchResult(name, spec.unit, spec.higher_is_better,
+                                    best, rounds)
+        if progress is not None:
+            progress(f"  {name:30s} {best:>14,.0f} {spec.unit}")
+    return results

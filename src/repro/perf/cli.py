@@ -1,0 +1,115 @@
+"""``juggler-repro bench``: run the hot-path suite, gate, or refresh.
+
+::
+
+    juggler-repro bench                      # run + print, no gate
+    juggler-repro bench --check              # fail (exit 1) on regression
+    juggler-repro bench --update             # rewrite BENCH_core.json
+    juggler-repro bench --bench gro.juggler_many_flows --rounds 5
+    juggler-repro bench --json out.json      # machine-readable results
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.perf.bench import BENCHES, run_benches
+from repro.perf.gate import (
+    DEFAULT_TOLERANCE,
+    check_against_baseline,
+    default_baseline_path,
+    load_baseline,
+    regressions,
+    write_baseline,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="juggler-repro bench",
+        description="Run the pinned hot-path microbenchmarks "
+                    "(see docs/performance.md).",
+    )
+    parser.add_argument("--bench", action="append", metavar="NAME",
+                        help="run only this bench (repeatable); "
+                             "default: the full suite")
+    parser.add_argument("--list", action="store_true",
+                        help="list available benches and exit")
+    parser.add_argument("--rounds", type=int, default=3, metavar="N",
+                        help="repetitions per bench; best round is "
+                             "reported (default 3)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed baseline; "
+                             "exit 1 on regression")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed baseline from this run")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE, metavar="FRAC",
+                        help="relative gate band (default "
+                             f"{DEFAULT_TOLERANCE:.2f} = ±30%%)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline file (default: BENCH_core.json "
+                             "at the repo root)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write this run's results as JSON")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, spec in BENCHES.items():
+            print(f"  {name:30s} [{spec.unit}]  {spec.description}")
+        return 0
+
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else default_baseline_path())
+
+    print(f"running {len(args.bench) if args.bench else len(BENCHES)} "
+          f"bench(es), {args.rounds} round(s) each:")
+    try:
+        results = run_benches(args.bench, rounds=args.rounds,
+                              progress=print)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    if args.json:
+        payload = {
+            name: {"value": r.value, "unit": r.unit,
+                   "higher_is_better": r.higher_is_better,
+                   "rounds": r.rounds}
+            for name, r in sorted(results.items())
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2,
+                                              sort_keys=True) + "\n")
+        print(f"results written to {args.json}")
+
+    if args.update:
+        path = write_baseline(results, baseline_path)
+        print(f"baseline updated: {path}")
+        return 0
+
+    if args.check:
+        baseline = load_baseline(baseline_path)
+        if not baseline.get("benchmarks"):
+            print(f"no baseline at {baseline_path}; "
+                  "run 'juggler-repro bench --update' first",
+                  file=sys.stderr)
+            return 2
+        findings = check_against_baseline(results, baseline,
+                                          tolerance=args.tolerance)
+        print(f"\ngate (±{args.tolerance:.0%} band) vs {baseline_path}:")
+        for finding in findings:
+            print(finding.line())
+        failed = regressions(findings)
+        if failed:
+            print(f"\nFAIL: {len(failed)} bench(es) regressed beyond the "
+                  "band", file=sys.stderr)
+            return 1
+        print("\nOK: no regression beyond the band")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

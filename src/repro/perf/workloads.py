@@ -1,0 +1,136 @@
+"""Deterministic workloads for the hot-path microbenchmarks.
+
+Everything here is seeded and fixed-size, so two runs of the same bench
+process identical packet sequences — the only thing that varies between
+runs is how long the hot path takes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.net.addr import FiveTuple
+from repro.net.constants import MSS
+from repro.net.packet import Packet
+from repro.sim.rng import RngRegistry
+
+#: Figure 10 workload shape: many concurrent flows into one RX queue.
+MANY_FLOWS = 256
+
+
+def reordered_stream(
+    n_flows: int,
+    pkts_per_flow: int,
+    *,
+    window: int = 8,
+    burst: int = 16,
+    concurrency: int = 8,
+    seed: int = 9,
+) -> List[Packet]:
+    """A lightly reordered multi-flow packet stream.
+
+    Per flow, packets are in sequence but shuffled within a sliding
+    ``window`` (the per-packet-spraying displacement the paper measures).
+    Flows land on the queue the way TSO senders share one: ``burst``-packet
+    runs back-to-back, with ``concurrency`` flows interleaving their bursts
+    at any moment and fresh flows rotating in as earlier ones finish —
+    which keeps the stream exercising the merge path rather than pure
+    table-eviction churn.
+    """
+    rng = RngRegistry(seed).stream("perf-reorder")
+    flows = [FiveTuple(1 + (i % 16), 99, 10_000 + i, 80)
+             for i in range(n_flows)]
+    per_flow: List[List[Packet]] = []
+    for flow in flows:
+        order = list(range(pkts_per_flow))
+        for i in range(0, pkts_per_flow - window, window):
+            chunk = order[i:i + window]
+            rng.shuffle(chunk)
+            order[i:i + window] = chunk
+        per_flow.append([Packet(flow, k * MSS, MSS) for k in order])
+    stream: List[Packet] = []
+    for g in range(0, n_flows, concurrency):
+        group = per_flow[g:g + concurrency]
+        for start in range(0, pkts_per_flow, burst):
+            for packets in group:
+                stream.extend(packets[start:start + burst])
+    return stream
+
+
+def drive_gro(gro, packets: List[Packet], *, batch: int = 32,
+              ns_per_packet: int = 100) -> None:
+    """Drive a GRO engine the way the NAPI layer does: per-poll batches,
+    one ``poll_complete`` per batch.
+
+    Uses the engine's batch entry point when it has one (the optimized
+    path) and falls back to per-packet ``receive`` otherwise, so the same
+    bench runs against pre- and post-optimization code.
+    """
+    receive_batch = getattr(gro, "receive_batch", None)
+    now = 0
+    for start in range(0, len(packets), batch):
+        chunk = packets[start:start + batch]
+        now = (start + len(chunk)) * ns_per_packet
+        if receive_batch is not None:
+            receive_batch(chunk, now)
+        else:
+            for packet in chunk:
+                gro.receive(packet, now)
+        gro.poll_complete(now)
+    gro.flush_all(now + 1)
+
+
+def engine_event_churn(engine_cls, n_events: int) -> int:
+    """Schedule/fire churn through the event engine.
+
+    A self-rescheduling fan of callbacks with mixed short deadlines —
+    the link-transmit/pacing pattern that dominates experiment runtime.
+    Uses the fire-and-forget ``post`` entry point when the engine has one
+    (pre-optimization engines fall back to ``schedule``).
+    Returns the number of callbacks executed.
+    """
+    engine = engine_cls()
+    post = getattr(engine, "post", engine.schedule)
+    fired = [0]
+
+    def tick(delay: int) -> None:
+        fired[0] += 1
+        if fired[0] < n_events:
+            post(delay, tick, delay)
+
+    for i, delay in enumerate((700, 1_300, 2_900, 5_100, 12_000, 45_000,
+                               130_000, 1_100_000)):
+        engine.schedule(i, tick, delay)
+    engine.run(max_events=n_events)
+    return fired[0]
+
+
+def timer_rearm_churn(engine_cls, timer_cls, n_timers: int,
+                      polls: int) -> int:
+    """The RxQueue hrtimer pattern: every "poll", every timer is re-armed.
+
+    Each re-arm cancels the pending event and schedules a new one — the
+    tombstone-churn case the timer wheel and compaction exist for.
+    Returns the number of timer fires.
+    """
+    engine = engine_cls()
+    fires = [0]
+
+    def on_fire() -> None:
+        fires[0] += 1
+
+    timers = [timer_cls(engine, on_fire) for _ in range(n_timers)]
+
+    def poll(round_no: int) -> None:
+        # Deadlines sit far out (ofo_timeout-scale, ~1ms) while polls
+        # re-arm every microsecond, so each cancelled event outlives
+        # ~1000 re-arms — the worst case for lazy cancellation.
+        base = engine.now + 1_000_000
+        for k, timer in enumerate(timers):
+            timer.arm_at(base + ((round_no * 37 + k * 13) % 64) * 100)
+        if round_no < polls:
+            engine.schedule(1_000, poll, round_no + 1)
+
+    engine.schedule(0, poll, 0)
+    engine.run()
+    return fires[0]

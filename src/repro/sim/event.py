@@ -11,9 +11,15 @@ class Event:
     Events are ordered by ``(time, seq)`` where ``seq`` is a monotonically
     increasing counter assigned by the engine; two events scheduled for the
     same instant fire in scheduling order.  Events are one-shot.
+
+    Fired and compacted-away events are *recycled* through the engine's
+    free list: ``gen`` bumps on every recycle, so a stale
+    :class:`EventHandle` (or :class:`~repro.sim.timer.Timer`) holding a
+    recycled event sees the generation mismatch and treats it as dead
+    instead of touching the new occupant.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "gen")
 
     def __init__(self, time: int, seq: int, callback: Callable[..., Any], args: tuple):
         self.time = time
@@ -21,9 +27,13 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.gen = 0
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # No tuple building: this runs several times per heap operation.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = " cancelled" if self.cancelled else ""
@@ -34,26 +44,37 @@ class Event:
 class EventHandle:
     """Cancellation handle returned by :meth:`Engine.schedule`.
 
-    Cancellation is lazy: the event stays in the heap but is skipped when it
-    reaches the top.  This is O(1) and matches how kernel timers behave from
-    the caller's perspective.
+    Cancellation is lazy: the event stays resident (in its wheel bucket or
+    the heap) but is skipped when it reaches the front.  This is O(1) and
+    matches how kernel timers behave from the caller's perspective; the
+    engine's compaction pass bounds how many such tombstones accumulate.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_engine", "_event", "_gen")
 
-    def __init__(self, event: Event):
+    def __init__(self, engine, event: Event):
+        self._engine = engine
         self._event = event
+        self._gen = event.gen
 
     @property
     def time(self) -> int:
-        """The simulation time this event is scheduled for."""
+        """The simulation time this event is scheduled for.
+
+        Only meaningful while :attr:`active`; after the event fires (and
+        may be recycled) the value is unspecified.
+        """
         return self._event.time
 
     @property
     def active(self) -> bool:
         """True while the event is still pending (not cancelled, not fired)."""
-        return not self._event.cancelled
+        event = self._event
+        return event.gen == self._gen and not event.cancelled
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self._event.cancelled = True
+        event = self._event
+        if event.gen == self._gen and not event.cancelled:
+            event.cancelled = True
+            self._engine._on_cancel(event)

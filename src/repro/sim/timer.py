@@ -5,6 +5,12 @@ Juggler registers "one high resolution timer callback per gro_table"
 polling intervals.  :class:`Timer` provides that abstraction on top of the
 event engine: arm it for a deadline, re-arm to move the deadline, cancel it,
 and the callback fires at most once per arming.
+
+Re-arming is the engine's highest-churn operation (the RX queue moves its
+hrtimer after every poll), so the timer tracks its pending event directly —
+generation-checked, like :class:`~repro.sim.event.EventHandle`, but without
+allocating a handle per arm.  Each re-arm leaves one lazily-cancelled
+tombstone behind; the engine's compaction keeps those bounded.
 """
 
 from __future__ import annotations
@@ -12,34 +18,41 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.sim.engine import Engine
-from repro.sim.event import EventHandle
+from repro.sim.event import Event
 
 
 class Timer:
     """One-shot re-armable timer bound to an engine and a callback."""
 
+    __slots__ = ("_engine", "_callback", "_event", "_gen")
+
     def __init__(self, engine: Engine, callback: Callable[[], Any]):
         self._engine = engine
         self._callback = callback
-        self._handle: Optional[EventHandle] = None
+        self._event: Optional[Event] = None
+        self._gen = 0
 
     @property
     def armed(self) -> bool:
         """True if the timer has a pending expiry."""
-        return self._handle is not None and self._handle.active
+        event = self._event
+        return (event is not None and event.gen == self._gen
+                and not event.cancelled)
 
     @property
     def expires_at(self) -> Optional[int]:
         """Absolute expiry time, or None when disarmed."""
         if self.armed:
-            assert self._handle is not None
-            return self._handle.time
+            assert self._event is not None
+            return self._event.time
         return None
 
     def arm_at(self, time: int) -> None:
         """(Re-)arm the timer for absolute time ``time``."""
         self.cancel()
-        self._handle = self._engine.schedule_at(time, self._fire)
+        event = self._engine._schedule_event(time, self._fire, ())
+        self._event = event
+        self._gen = event.gen
 
     def arm_after(self, delay: int) -> None:
         """(Re-)arm the timer ``delay`` ns from now."""
@@ -53,17 +66,20 @@ class Timer:
         soonest one.
         """
         if self.armed:
-            assert self._handle is not None
-            if self._handle.time <= time:
+            assert self._event is not None
+            if self._event.time <= time:
                 return
         self.arm_at(time)
 
     def cancel(self) -> None:
         """Disarm the timer if pending.  Idempotent."""
-        if self._handle is not None:
-            self._handle.cancel()
-            self._handle = None
+        event = self._event
+        if event is not None:
+            if event.gen == self._gen and not event.cancelled:
+                event.cancelled = True
+                self._engine._on_cancel(event)
+            self._event = None
 
     def _fire(self) -> None:
-        self._handle = None
+        self._event = None
         self._callback()

@@ -14,6 +14,8 @@ import enum
 from dataclasses import dataclass, fields
 from typing import Any, ClassVar, Optional
 
+from repro.net.addr import FiveTuple
+
 
 class EventKind(enum.Enum):
     """The event catalog (see docs/observability.md)."""
@@ -38,7 +40,7 @@ def _plain(value: Any) -> Any:
     """Flatten a field value to a JSON-serialisable type."""
     if isinstance(value, enum.Enum):
         return value.value
-    if isinstance(value, tuple):  # FiveTuple and friends
+    if isinstance(value, (FiveTuple, tuple)):  # flow keys, option tuples
         return str(value)
     return value
 

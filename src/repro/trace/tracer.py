@@ -87,6 +87,10 @@ class Tracer:
         self.metrics.gauge("sim.events_processed",
                            lambda: engine.events_processed)
         self.metrics.gauge("sim.pending_events", lambda: engine.pending)
+        self.metrics.gauge("sim.pending_live", lambda: engine.pending_live)
+        self.metrics.gauge("sim.timer_tombstones", lambda: engine.tombstones)
+        self.metrics.gauge("sim.timer_compactions",
+                           lambda: engine.compactions)
 
     def close(self) -> None:
         """Close every sink."""

@@ -1,0 +1,155 @@
+"""Timer-wheel internals: fire-order fidelity, tombstone bounds, recycling.
+
+The wheel/overflow-heap split and the tombstone compaction pass are pure
+implementation detail — these tests pin the observable contract: the fire
+order is the (time, seq) total order a single heap would produce, resident
+cancelled events stay bounded under sustained re-arm churn, and recycled
+events can never confuse a stale handle or timer.
+"""
+
+import heapq
+
+from repro.sim import Engine, RngRegistry, Timer
+from repro.sim.engine import COMPACT_FLOOR, WHEEL_HORIZON_NS
+
+
+def _fire_order(schedule_plan):
+    """Run a plan of (delay_from_start, tag) through the engine; return the
+    tags in fire order."""
+    engine = Engine()
+    fired = []
+    for delay, tag in schedule_plan:
+        engine.schedule(delay, lambda t=tag: fired.append(t))
+    engine.run()
+    return fired
+
+
+def test_fire_order_matches_reference_heap_across_horizon():
+    # Delays spanning the wheel horizon: some land in slot buckets, some in
+    # the overflow heap.  The order must match a plain (time, seq) heap.
+    rng = RngRegistry(7).stream("wheel-order")
+    plan = []
+    for i in range(2_000):
+        region = i % 4
+        if region == 0:
+            delay = rng.randrange(0, 1 << 16)  # inside one slot
+        elif region == 1:
+            delay = rng.randrange(0, WHEEL_HORIZON_NS)  # anywhere on wheel
+        elif region == 2:
+            delay = rng.randrange(WHEEL_HORIZON_NS,
+                                  4 * WHEEL_HORIZON_NS)  # overflow heap
+        else:
+            delay = WHEEL_HORIZON_NS + (i % 3) - 1  # hug the boundary
+        plan.append((delay, i))
+    reference = [tag for _, _, tag in
+                 sorted((delay, seq, tag)
+                        for seq, (delay, tag) in enumerate(plan))]
+    assert _fire_order(plan) == reference
+
+
+def test_fire_order_ties_at_wheel_heap_boundary():
+    # An event far in the future files into the overflow heap; an event for
+    # the *same instant* scheduled later (once the wheel covers it) files
+    # into a bucket.  The earlier-scheduled (heap) event must fire first.
+    engine = Engine()
+    fired = []
+    target = 2 * WHEEL_HORIZON_NS
+    engine.schedule(target, fired.append, "heap-resident")
+    engine.schedule(target - 10, lambda: (
+        engine.schedule(10, fired.append, "wheel-resident")))
+    engine.run()
+    assert fired == ["heap-resident", "wheel-resident"]
+
+
+def test_golden_seed_fire_sequence_is_reproducible():
+    rng_a = RngRegistry(42).stream("golden")
+    rng_b = RngRegistry(42).stream("golden")
+
+    def sequence(rng):
+        plan = [(rng.randrange(0, 3 * WHEEL_HORIZON_NS), i)
+                for i in range(500)]
+        return _fire_order(plan)
+
+    assert sequence(rng_a) == sequence(rng_b)
+
+
+def test_tombstones_bounded_under_sustained_rearm_churn():
+    # The hrtimer pattern: 64 timers re-armed every poll against deadlines
+    # ~1000 polls out.  Without compaction, resident cancelled events grow
+    # with churn (tens of thousands here); with it they stay bounded.
+    engine = Engine()
+    timers = [Timer(engine, lambda: None) for _ in range(64)]
+    max_resident = 0
+
+    def poll(round_no):
+        nonlocal max_resident
+        for k, timer in enumerate(timers):
+            timer.arm_at(engine.now + 1_000_000 + k * 100)
+        max_resident = max(max_resident, engine.pending)
+        assert engine.tombstones <= max(engine.pending_live, COMPACT_FLOOR)
+        if round_no < 1_000:
+            engine.schedule(1_000, poll, round_no + 1)
+
+    engine.schedule(0, poll, 0)
+    engine.run()
+    assert engine.compactions > 0
+    # 64k cancellations happened; residency stayed near the live count.
+    assert max_resident <= 2 * max(64 + 2, COMPACT_FLOOR)
+    # A fully drained engine holds nothing — live or tombstoned.
+    assert engine.pending == 0
+    assert engine.pending_live == 0
+
+
+def test_pending_live_vs_pending_accounting():
+    engine = Engine()
+    keep = engine.schedule(100, lambda: None)
+    drop = engine.schedule(200, lambda: None)
+    assert engine.pending == 2
+    assert engine.pending_live == 2
+    drop.cancel()
+    assert engine.pending_live == 1
+    assert engine.pending == 2  # the tombstone is still resident
+    assert engine.tombstones == 1
+    engine.run()
+    assert keep.active is False
+    assert engine.pending == 0
+
+
+def test_recycled_event_is_inert_to_stale_handles():
+    engine = Engine()
+    fired = []
+    stale = engine.schedule(10, fired.append, "a")
+    engine.run()
+    # Force the pooled event to be reused by a new schedule.
+    fresh = engine.schedule(10, fired.append, "b")
+    assert not stale.active
+    stale.cancel()  # must not cancel the recycled occupant
+    assert fresh.active
+    engine.run()
+    assert fired == ["a", "b"]
+
+
+def test_timer_rearm_is_generation_safe_after_fire():
+    engine = Engine()
+    fires = []
+    timer = Timer(engine, lambda: fires.append(engine.now))
+    timer.arm_after(50)
+    engine.run()
+    assert fires == [50]
+    assert not timer.armed
+    # Cancelling a fired (and possibly recycled) timer is a no-op.
+    timer.cancel()
+    timer.arm_after(25)
+    assert timer.armed and timer.expires_at == 75
+    engine.run()
+    assert fires == [50, 75]
+
+
+def test_event_pool_reuses_allocations():
+    engine = Engine()
+    for _ in range(100):
+        engine.post(1, lambda: None)
+        engine.run()
+    # A steady-state schedule/fire loop touches one event object.
+    assert engine.events_allocated <= 2
+    assert engine.events_processed == 100
