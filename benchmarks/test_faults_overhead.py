@@ -1,0 +1,158 @@
+"""Fault-layer overhead guard: disabled chaos must be free on the hot path.
+
+The contract (docs/faults.md, mirroring the tracing and JSAN guards):
+
+1. **No plan, no layer**: with no fault plan supplied or installed, the
+   testbed builder wires the packet path exactly as before — the receiver
+   is the switch queues' direct sink and no ``FaultEngine`` exists.  Zero
+   overhead by construction, which is what keeps ``bench --check`` green
+   against ``BENCH_core.json``.
+2. **No allocation while dormant**: a wrapped chain whose windows are
+   closed forwards packets without allocating anything from
+   ``repro/faults/`` (no rng draws, no copies, no bookkeeping objects).
+3. **Dormant <= active**: best-of-interleaved-rounds of the dormant chain
+   is at most 5% past the active chain, which pays for real draws and
+   perturbation on top of the same per-packet guard.
+"""
+
+import random
+import time
+import tracemalloc
+
+from conftest import show
+from test_core_microbench import N, shuffled_stream
+
+from repro.core import JugglerConfig, JugglerGRO
+from repro.faults import runtime as faults_runtime
+from repro.faults.controller import FaultEngine
+from repro.faults.plan import FaultPlan
+from repro.fabric.topology import build_netfpga_pair
+from repro.sim.engine import Engine
+
+
+def _wire_plan(at_us):
+    """A three-stage wire chain whose windows open at ``at_us``."""
+    return FaultPlan.from_dict({"name": "bench", "seed": 1, "faults": [
+        {"name": "l", "kind": "loss", "at_us": at_us, "duration_us": 10 ** 9,
+         "params": {"p": 0.01}},
+        {"name": "d", "kind": "duplicate", "at_us": at_us,
+         "duration_us": 10 ** 9, "params": {"p": 0.01}},
+        {"name": "c", "kind": "corrupt", "at_us": at_us,
+         "duration_us": 10 ** 9, "params": {"p": 0.005}},
+    ]})
+
+
+class GroSink:
+    """Terminal sink driving the GRO exactly like ``test_core_microbench``."""
+
+    def __init__(self):
+        self.gro = JugglerGRO(lambda s: None, config=JugglerConfig())
+        self.i = 0
+
+    def receive(self, packet):
+        now = self.i * 100
+        self.gro.receive(packet, now=now)
+        if self.i % 64 == 0:
+            self.gro.poll_complete(now=now)
+        self.i += 1
+
+
+def _chain(active):
+    engine = Engine()
+    sink = GroSink()
+    faults = FaultEngine(engine, _wire_plan(0 if active else 10 ** 12))
+    head = faults.wrap(sink)
+    faults.start()
+    if active:
+        engine.run_until(1)  # fire the window-open events
+        assert head.active
+    else:
+        assert not head.active
+    return head, sink
+
+
+def _drive(head, sink, packets):
+    for packet in packets:
+        head.receive(packet)
+    sink.gro.flush_all(now=N * 100)
+    return sink.gro
+
+
+def test_no_plan_leaves_the_packet_path_untouched():
+    assert faults_runtime.current_plan() is None
+    bed = build_netfpga_pair(Engine(), random.Random(0),
+                             lambda cb: JugglerGRO(cb, JugglerConfig()))
+    assert bed.faults is None
+    # The switch queues deliver straight into the receiver: no injector,
+    # no adapter, not one extra frame on the per-packet call stack.
+    assert bed.switch.fast_queue.sink is bed.receiver
+    assert bed.switch.slow_queue.sink is bed.receiver
+
+
+def test_environment_only_plan_does_not_wrap_the_wire():
+    plan = FaultPlan.from_dict({"faults": [
+        {"name": "p", "kind": "pause_poll", "at_us": 0, "duration_us": 1}]})
+    sink = GroSink()
+    assert FaultEngine(Engine(), plan).wrap(sink) is sink
+
+
+def test_dormant_chain_allocates_nothing():
+    packets = shuffled_stream()
+    head, sink = _chain(active=False)
+    tracemalloc.start()
+    try:
+        before = tracemalloc.take_snapshot()
+        gro = _drive(head, sink, packets)
+        after = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    assert gro.stats.packets == N
+    assert head.dropped == head.duplicated == 0
+    fault_allocs = [
+        stat for stat in after.compare_to(before, "filename")
+        if "repro/faults/" in stat.traceback[0].filename.replace("\\", "/")
+        and stat.size_diff > 0
+    ]
+    assert fault_allocs == [], (
+        f"dormant fault chain allocated in repro.faults: {fault_allocs}")
+
+
+def test_dormant_chain_overhead_under_5pct(benchmark):
+    def run_dormant(packets):
+        head, sink = _chain(active=False)
+        return _drive(head, sink, packets)
+
+    def run_active(packets):
+        head, sink = _chain(active=True)
+        return _drive(head, sink, packets)
+
+    def timed(fn, packets):
+        start = time.perf_counter()
+        fn(packets)
+        return time.perf_counter() - start
+
+    packets = shuffled_stream()
+    rounds = 5
+    dormant, active = [], []
+    run_dormant(packets)  # warm caches before timing
+    for _ in range(rounds):  # interleave to share any machine noise
+        dormant.append(timed(run_dormant, packets))
+        active.append(timed(run_active, packets))
+    best_dormant = min(dormant)
+    best_active = min(active)
+
+    gro = benchmark.pedantic(run_dormant, args=(packets,),
+                             rounds=1, iterations=1)
+    assert gro.stats.packets == N
+
+    show("Microbench — fault-layer overhead on the receive path",
+         f"  dormant chain: {N / best_dormant / 1e3:.0f} kpps;  "
+         f"active chain: {N / best_active / 1e3:.0f} kpps  "
+         f"(best of {rounds} interleaved rounds)\n"
+         f"  open windows pay "
+         f"{100 * (best_active / best_dormant - 1):.1f}% for the draws "
+         f"and perturbation")
+    # The active chain runs the same per-packet guard *plus* rng draws and
+    # real perturbation.  If the guard alone is cheap, the dormant path
+    # must land at or below the active one (5% tolerance for timer noise).
+    assert best_dormant <= 1.05 * best_active

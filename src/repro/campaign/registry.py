@@ -197,6 +197,14 @@ class GridAdapter(Adapter):
         return mod.render(mod.run())
 
 
+class HiddenGridAdapter(GridAdapter):
+    """Grid experiments resolvable by name (campaign specs, workers) but
+    absent from ``juggler-repro list``/``all`` — they ship their own CLI
+    front-end (e.g. ``juggler-repro faults matrix``)."""
+
+    hidden = True
+
+
 class SelftestAdapter(GridAdapter):
     """The built-in failure-injection experiment (tests and CI)."""
 
@@ -286,6 +294,14 @@ ADAPTERS: Dict[str, Adapter] = {a.name: a for a in [
     ParamsAdapter("scheduling", f"{_E}.flow_scheduling",
                   "extension: PIAS/pFabric flow scheduling",
                   "SchedulingParams"),
+    HiddenGridAdapter("faults_matrix", "repro.faults.experiments",
+                      "resilience matrix: fault kind x intensity x GRO "
+                      "engine (see 'juggler-repro faults matrix')",
+                      "MatrixParams",
+                      axes=[("fault_kind", "fault_kinds"),
+                            ("intensity", "intensities"),
+                            ("engine", "engines")],
+                      point_cls="MatrixPoint", result_cls="MatrixResult"),
     SelftestAdapter("selftest", "repro.campaign.selftest",
                     "campaign failure-injection selftest (hidden)",
                     "SelftestParams",

@@ -11,6 +11,8 @@
     juggler-repro trace fig12 --format jsonl --events flush,phase
     juggler-repro analyze                        # determinism lint, exit!=0 on findings
     juggler-repro bench --check                  # hot-path microbenches vs BENCH_core.json
+    juggler-repro faults run --plan chaos.json   # one fault plan, one report
+    juggler-repro faults matrix --jobs 4         # resilience matrix sweep
     juggler-repro campaign run --spec sweep.json --store out.jsonl --jobs 4
     juggler-repro campaign resume --spec sweep.json --store out.jsonl
     juggler-repro campaign report --store out.jsonl --json summary.json
@@ -157,6 +159,10 @@ def main(argv=None) -> int:
         from repro.perf.cli import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "faults":
+        from repro.faults.cli import main as faults_main
+
+        return faults_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="juggler-repro",
         description="Run reproduced experiments from the Juggler paper "
@@ -191,6 +197,8 @@ def main(argv=None) -> int:
               "artifact (see docs/observability.md)")
         print("run 'juggler-repro campaign --help' for parallel, resumable "
               "sweeps (see docs/campaign.md)")
+        print("run 'juggler-repro faults run|matrix' for fault injection "
+              "and the resilience matrix (see docs/faults.md)")
         return 0
 
     names = (list(EXPERIMENTS) if args.experiments == ["all"]

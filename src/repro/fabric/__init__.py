@@ -18,7 +18,6 @@ from repro.fabric.routing import (
 )
 from repro.fabric.switch import Switch
 from repro.fabric.netfpga import ReorderingSwitch
-from repro.fabric.drop import DropElement
 from repro.fabric.host import Host
 from repro.fabric.topology import (
     ClosNetwork,
@@ -37,7 +36,6 @@ __all__ = [
     "PerTsoRouting",
     "Switch",
     "ReorderingSwitch",
-    "DropElement",
     "Host",
     "ClosNetwork",
     "build_clos",

@@ -16,6 +16,7 @@ from typing import Deque, List, Optional, Protocol
 
 from repro.net.constants import transmit_time_ns
 from repro.net.packet import Packet
+from repro.net.pool import release_terminal
 from repro.sim.engine import Engine
 
 
@@ -110,6 +111,7 @@ class QueuedLink:
             and self._queue_bytes[level] + packet.wire_len > self.capacity_bytes
         ):
             self.stats.drops += 1
+            release_terminal(packet)
             return
         if (
             self.ecn_threshold_bytes is not None

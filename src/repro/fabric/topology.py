@@ -14,12 +14,15 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from repro.fabric.drop import DropElement
 from repro.fabric.host import Host
 from repro.fabric.link import QueuedLink
 from repro.fabric.netfpga import ReorderingSwitch
 from repro.fabric.routing import RoutingPolicy
 from repro.fabric.switch import Switch
+from repro.faults import runtime as faults_runtime
+from repro.faults.controller import FaultEngine
+from repro.faults.injectors import LossInjector
+from repro.faults.plan import FaultPlan
 from repro.nic.nic import GroFactory, NicConfig
 from repro.sim.engine import Engine
 
@@ -36,11 +39,13 @@ class NetfpgaTestbed:
     receiver: Host
     switch: ReorderingSwitch
     #: Optional uniform dropper in front of the receiver (Figure 14).
-    dropper: Optional[DropElement]
+    dropper: Optional[LossInjector]
     #: Sender-side serialisation link (the 10G port).
     sender_link: QueuedLink
     #: Reverse (ACK) path link.
     reverse_link: QueuedLink
+    #: Armed fault engine when a fault plan is active (see repro.faults).
+    faults: Optional[FaultEngine] = None
 
 
 def build_netfpga_pair(
@@ -53,6 +58,7 @@ def build_netfpga_pair(
     drop_p: float = 0.0,
     nic_config: Optional[NicConfig] = None,
     sender_gro_factory: Optional[GroFactory] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> NetfpgaTestbed:
     """Two hosts joined by a reordering switch on the data direction.
 
@@ -60,6 +66,13 @@ def build_netfpga_pair(
     two-queue reordering switch, then (optionally) a uniform dropper.  ACKs
     return over a plain link so control traffic is never reordered — the
     same asymmetry the testbed had.
+
+    When a fault plan is supplied (or installed process-wide — see
+    :mod:`repro.faults.runtime`), its wire faults are chained in front of
+    the receiver and its link/NIC faults are bound to the data-direction
+    queues; host-layer faults need receivers bound by the caller via
+    ``testbed.faults.bind(receivers=...)``.  With no plan the packet path
+    is untouched.
     """
     receiver = Host(engine, 1, gro_factory, nic_config=nic_config, name="receiver")
     sender = Host(
@@ -70,12 +83,20 @@ def build_netfpga_pair(
         name="sender",
     )
 
-    into_receiver = (
-        DropElement(receiver, rng, drop_p) if drop_p > 0.0 else None
+    plan = (fault_plan if fault_plan is not None
+            else faults_runtime.current_plan())
+    faults: Optional[FaultEngine] = None
+    into_receiver = receiver
+    if plan is not None:
+        faults = FaultEngine(engine, plan)
+        into_receiver = faults.wrap(receiver)
+
+    dropper = (
+        LossInjector(into_receiver, rng, drop_p) if drop_p > 0.0 else None
     )
     switch = ReorderingSwitch(
         engine,
-        into_receiver if into_receiver is not None else receiver,
+        dropper if dropper is not None else into_receiver,
         rng,
         rate_gbps=rate_gbps,
         delay_ns=reorder_delay_ns,
@@ -86,8 +107,15 @@ def build_netfpga_pair(
     reverse_link = QueuedLink(engine, rate_gbps, sender, name="ack-path")
     receiver.attach_tx(reverse_link)
 
-    return NetfpgaTestbed(sender, receiver, switch, into_receiver,
-                          sender_link, reverse_link)
+    if faults is not None:
+        faults.bind(
+            links=[sender_link, switch.fast_queue, switch.slow_queue],
+            rxqueues=list(receiver.nic.queues),
+        )
+        faults.start()
+
+    return NetfpgaTestbed(sender, receiver, switch, dropper,
+                          sender_link, reverse_link, faults)
 
 
 @dataclass

@@ -1,0 +1,52 @@
+"""repro.faults — deterministic fault injection for the whole stack.
+
+A :class:`~repro.faults.plan.FaultPlan` (declarative JSON, mirroring
+``campaign.spec``) names fault *kinds* at every layer — wire loss/
+duplication/corruption/jitter/blackholes, switch-queue saturation and
+CE-mark storms, NIC ring overflow and paused polling, receiver stalls —
+with activation windows on the simulation timeline.  The
+:class:`~repro.faults.controller.FaultEngine` expands the plan into
+scheduled activations, drawing randomness only from named ``sim.rng``
+streams so chaos replays byte-identically.  Window boundaries emit
+``fault_injected`` / ``fault_cleared`` trace events and ``faults.*``
+metrics.
+
+On top sits the resilience matrix (:mod:`repro.faults.experiments`): a
+campaign-schedulable sweep of fault kind × intensity × GRO engine.  See
+docs/faults.md and ``juggler-repro faults run|matrix``.
+"""
+
+from repro.faults.controller import FaultEngine
+from repro.faults.injectors import (
+    BlackholeInjector,
+    BurstLossInjector,
+    CorruptInjector,
+    DuplicateInjector,
+    FaultInjector,
+    JitterInjector,
+    LossInjector,
+    build_injector,
+)
+from repro.faults.plan import KINDS, WIRE_KINDS, FaultPlan, FaultSpec, load_plan
+from repro.faults.runtime import current_plan, injecting, install, uninstall
+
+__all__ = [
+    "FaultEngine",
+    "FaultInjector",
+    "LossInjector",
+    "BurstLossInjector",
+    "DuplicateInjector",
+    "CorruptInjector",
+    "JitterInjector",
+    "BlackholeInjector",
+    "build_injector",
+    "FaultPlan",
+    "FaultSpec",
+    "KINDS",
+    "WIRE_KINDS",
+    "load_plan",
+    "current_plan",
+    "install",
+    "uninstall",
+    "injecting",
+]

@@ -1,0 +1,68 @@
+"""Process-wide fault-plan installation (mirrors ``trace.runtime``).
+
+Testbed builders construct their packet paths internally, so a chaos run
+cannot thread a plan through every constructor.  Instead a plan is
+*installed* here — explicitly via :func:`install` / :func:`injecting`, or
+ambiently via the ``JUGGLER_FAULT_PLAN`` environment variable (a path to a
+plan JSON; how CI runs the tier-1 suite under a committed plan).  The
+NetFPGA testbed builder consults :func:`current_plan` and arms a
+:class:`~repro.faults.controller.FaultEngine` when one is present; with no
+plan installed the packet path is exactly what it always was.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+from repro.faults.plan import FaultPlan, load_plan
+
+#: Environment variable naming a plan file to apply ambient chaos from.
+ENV_PLAN = "JUGGLER_FAULT_PLAN"
+
+_current: Optional[FaultPlan] = None
+#: (path, plan) cache for the env-var source.
+_env_cache: Optional[Tuple[str, FaultPlan]] = None
+
+
+def current_plan() -> Optional[FaultPlan]:
+    """The installed plan, else the env-var plan, else None."""
+    if _current is not None:
+        return _current
+    return _from_env()
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Make ``plan`` the process-wide plan for testbeds built next."""
+    global _current
+    _current = plan
+    return plan
+
+
+def uninstall() -> None:
+    """Disable ambient fault injection for testbeds built from now on."""
+    global _current
+    _current = None
+
+
+@contextmanager
+def injecting(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for the duration of the block."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        uninstall()
+
+
+def _from_env() -> Optional[FaultPlan]:
+    global _env_cache
+    path = os.environ.get(ENV_PLAN)
+    if not path:
+        return None
+    if _env_cache is not None and _env_cache[0] == path:
+        return _env_cache[1]
+    plan = load_plan(path)
+    _env_cache = (path, plan)
+    return plan

@@ -40,6 +40,8 @@ class Packet:
         "path_id",
         "sig",
         "forces_flush",
+        "corrupt",
+        "origin",
     )
 
     def __init__(
@@ -78,6 +80,12 @@ class Packet:
         self.received_at = 0
         self.is_retransmission = is_retransmission
         self.path_id = 0
+        #: Payload damaged in flight; the NIC's checksum verification drops
+        #: such frames at the ring (see repro.faults and RxQueue.enqueue).
+        self.corrupt = False
+        #: The PacketPool this packet must be released to when it dies at a
+        #: terminal drop site (None for unpooled packets).
+        self.origin = None
         # GRO-hot-path fields, precomputed once here instead of per merge
         # check (IntFlag arithmetic is far too slow for a per-probe cost).
         f = int(flags)

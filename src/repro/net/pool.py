@@ -30,7 +30,7 @@ class PacketPool:
     swap ``Packet(...)`` for ``pool.acquire(...)`` with no other change.
     """
 
-    __slots__ = ("_free", "max_size", "allocated", "recycled")
+    __slots__ = ("_free", "max_size", "allocated", "recycled", "released")
 
     def __init__(self, max_size: int = POOL_MAX):
         self._free: List[Packet] = []
@@ -39,9 +39,18 @@ class PacketPool:
         self.allocated = 0
         #: Acquisitions served from the free list.
         self.recycled = 0
+        #: Releases (free-list appends plus overflow falls to the GC);
+        #: ``allocated + recycled - released`` is the in-flight count, which
+        #: the pool-balance tests assert returns to zero.
+        self.released = 0
 
     def __len__(self) -> int:
         return len(self._free)
+
+    @property
+    def in_flight(self) -> int:
+        """Live packets acquired from this pool and not yet released."""
+        return self.allocated + self.recycled - self.released
 
     def acquire(self, flow, seq: int, payload_len: int, **kwargs) -> Packet:
         """A packet initialised exactly as ``Packet(flow, seq, payload_len,
@@ -49,12 +58,17 @@ class PacketPool:
         free = self._free
         if free:
             self.recycled += 1
-            return free.pop().reset(flow, seq, payload_len, **kwargs)
-        self.allocated += 1
-        return Packet(flow, seq, payload_len, **kwargs)
+            packet = free.pop().reset(flow, seq, payload_len, **kwargs)
+        else:
+            self.allocated += 1
+            packet = Packet(flow, seq, payload_len, **kwargs)
+        packet.origin = self
+        return packet
 
     def release(self, packet: Packet) -> None:
         """Return a dead packet.  Caller guarantees no live references."""
+        self.released += 1
+        packet.origin = None
         free = self._free
         if len(free) < self.max_size:
             free.append(packet)
@@ -67,3 +81,19 @@ def pooled_or_new(pool: Optional[PacketPool], flow, seq: int,
     if pool is not None:
         return pool.acquire(flow, seq, payload_len, **kwargs)
     return Packet(flow, seq, payload_len, **kwargs)
+
+
+def release_terminal(packet: Packet) -> None:
+    """Recycle a packet that just died at a terminal drop site.
+
+    Every place the simulation destroys a packet mid-flight — link
+    tail-drops, NIC ring overflows, checksum failures, fault-injector
+    losses — routes through here.  Pooled packets go back to their
+    ``origin`` pool; unpooled ones (the common case on the TCP data path)
+    fall to the garbage collector exactly as before.  Clearing ``origin``
+    in ``release`` makes an accidental double drop a no-op instead of a
+    free-list corruption.
+    """
+    pool = packet.origin
+    if pool is not None:
+        pool.release(packet)

@@ -16,6 +16,7 @@ from typing import Deque
 
 from repro.core.base import GroEngine
 from repro.net.packet import Packet
+from repro.net.pool import release_terminal
 from repro.sim.engine import Engine
 from repro.sim.timer import Timer
 from repro.trace import runtime as trace_runtime
@@ -49,10 +50,16 @@ class RxQueue:
         self._hrtimer = Timer(engine, self._hrtimer_fire)
         #: Ring overflows (packet drops at the host).
         self.dropped = 0
+        #: Frames destroyed by checksum verification (corrupted in flight).
+        self.checksum_drops = 0
         #: Completed NAPI polls.
         self.polls = 0
         #: Packets handed to GRO.
         self.delivered = 0
+        #: Polling suspended (an interrupt storm is stealing the core);
+        #: arrivals still land in the ring but nothing services it.  See
+        #: :meth:`stall` / :meth:`unstall` (repro.faults ``pause_poll``).
+        self.stalled = False
 
     @property
     def backlog(self) -> int:
@@ -63,9 +70,18 @@ class RxQueue:
         """DMA one packet into the ring (called by the wire at arrival time)."""
         if len(self._ring) >= self.ring_size:
             self.dropped += 1
+            release_terminal(packet)
+            return
+        if packet.corrupt:
+            # Checksum verification fails: the frame dies at the NIC, and
+            # the stack above never learns it existed.
+            self.checksum_drops += 1
+            release_terminal(packet)
             return
         packet.received_at = self._engine.now
         self._ring.append(packet)
+        if self.stalled:
+            return
         if not self._irq.armed:
             self._irq.arm_after(self.coalesce_ns)
         if self.coalesce_frames and len(self._ring) >= self.coalesce_frames:
@@ -102,6 +118,25 @@ class RxQueue:
             self._hrtimer.cancel()
             return
         self._hrtimer.arm_at(max(deadline, self._engine.now + 1))
+
+    def stall(self) -> None:
+        """Suspend NAPI servicing (an interrupt storm owns the core).
+
+        Arrivals keep landing in the ring (and overflow it if the storm
+        lasts), but no poll runs and the per-table hrtimer stops — so GRO
+        timeouts fire late, exactly the pathology §4.2.2's design has to
+        survive.
+        """
+        self.stalled = True
+        self._irq.cancel()
+        self._hrtimer.cancel()
+
+    def unstall(self) -> None:
+        """Resume servicing; any backlog is polled immediately."""
+        self.stalled = False
+        if self._ring:
+            self._irq.arm_after(0)
+        self._rearm_hrtimer()
 
     def drain(self) -> None:
         """Force-process everything (experiment teardown)."""

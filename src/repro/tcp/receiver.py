@@ -192,6 +192,16 @@ class TcpReceiver:
         self.acks_sent += 1
         self._host.transmit(ack)
 
+    def announce_window(self) -> None:
+        """Send an unsolicited ACK advertising the current window.
+
+        Real receivers do this when the application drains a socket buffer
+        that had closed the window; without it a sender that saw rwnd == 0
+        would sit on a persist timer the simulation does not model.  Used
+        by the fault layer when a ``receiver_stall`` window clears.
+        """
+        self._send_ack()
+
     def close(self) -> None:
         """Unregister from the host (experiment teardown)."""
         self._host.unregister_handler(self.flow)

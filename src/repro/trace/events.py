@@ -34,6 +34,10 @@ class EventKind(enum.Enum):
     TIMER = "timer"
     #: The TCP receiver's in-order watermark (rcv_nxt) advanced.
     TCP_DELIVERY = "tcp_delivery"
+    #: A fault-plan window opened (see repro.faults).
+    FAULT_INJECTED = "fault_injected"
+    #: A fault-plan window closed; the perturbation was reverted.
+    FAULT_CLEARED = "fault_cleared"
 
 
 def _plain(value: Any) -> Any:
@@ -141,3 +145,23 @@ class TcpDelivery(TraceEvent):
     flow: Any
     rcv_nxt: int
     nbytes: int
+
+
+@dataclass(frozen=True, slots=True)
+class FaultInjected(TraceEvent):
+    """A fault window opened: ``name`` identifies the plan entry."""
+
+    kind: ClassVar[EventKind] = EventKind.FAULT_INJECTED
+
+    name: str
+    fault: str
+
+
+@dataclass(frozen=True, slots=True)
+class FaultCleared(TraceEvent):
+    """A fault window closed and its perturbation was reverted."""
+
+    kind: ClassVar[EventKind] = EventKind.FAULT_CLEARED
+
+    name: str
+    fault: str

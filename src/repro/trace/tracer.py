@@ -27,6 +27,8 @@ from typing import Dict, Iterable, Optional, Set
 from repro.trace.events import (
     EventKind,
     Eviction,
+    FaultCleared,
+    FaultInjected,
     Flush,
     Merge,
     PacketRx,
@@ -152,3 +154,13 @@ class Tracer:
         """The TCP receiver's in-order watermark advanced."""
         if self.wants(EventKind.TCP_DELIVERY):
             self.emit(TcpDelivery(self._stamp(now), flow, rcv_nxt, nbytes))
+
+    def fault_injected(self, now: int, name: str, fault: str) -> None:
+        """A fault-plan window opened (see repro.faults)."""
+        if self.wants(EventKind.FAULT_INJECTED):
+            self.emit(FaultInjected(self._stamp(now), name, fault))
+
+    def fault_cleared(self, now: int, name: str, fault: str) -> None:
+        """A fault-plan window closed; its perturbation was reverted."""
+        if self.wants(EventKind.FAULT_CLEARED):
+            self.emit(FaultCleared(self._stamp(now), name, fault))

@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.fabric import (
-    DropElement,
     EcmpRouting,
     PerPacketRouting,
     PerTsoRouting,
@@ -13,6 +12,7 @@ from repro.fabric import (
     ReorderingSwitch,
     Switch,
 )
+from repro.faults.injectors import LossInjector
 from repro.net import FiveTuple, MSS, Packet
 from repro.sim import Engine, US
 
@@ -162,12 +162,12 @@ def test_netfpga_zero_delay_preserves_order():
     assert seqs == sorted(seqs)
 
 
-# --- drop element ------------------------------------------------------------------
+# --- loss injector (the unified drop model, repro.faults) ------------------------------------------------------------------
 
 
-def test_drop_element_rate():
+def test_loss_injector_rate():
     sink = Sink()
-    drop = DropElement(sink, random.Random(5), p=0.3)
+    drop = LossInjector(sink, random.Random(5), p=0.3)
     flow = FiveTuple(1, 2, 1000, 80)
     for i in range(2000):
         drop.receive(pkt(flow, i * MSS))
@@ -175,13 +175,13 @@ def test_drop_element_rate():
     assert 0.25 < drop.dropped / 2000 < 0.35
 
 
-def test_drop_element_zero_p_passes_everything():
+def test_loss_injector_zero_p_passes_everything():
     sink = Sink()
-    drop = DropElement(sink, random.Random(5), p=0.0)
+    drop = LossInjector(sink, random.Random(5), p=0.0)
     drop.receive(pkt(FiveTuple(1, 2, 1000, 80)))
     assert drop.passed == 1 and drop.dropped == 0
 
 
-def test_drop_element_validates_p():
+def test_loss_injector_validates_p():
     with pytest.raises(ValueError):
-        DropElement(Sink(), random.Random(0), p=1.5)
+        LossInjector(Sink(), random.Random(0), p=1.5)
