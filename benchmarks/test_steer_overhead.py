@@ -1,0 +1,122 @@
+"""Steering-layer overhead guard: plain RSS must stay free on the NIC path.
+
+Acceptance contract for the pluggable steering front-end: when the policy
+is plain :class:`RssSteering` (the default, and the configuration every
+fig12–15 reproduction runs), delegating the demux through the policy object
+must cost nothing measurable over the NIC's historical inline
+``rss_hash() % n`` dispatch.  Two-fold, mirroring ``test_trace_overhead``:
+
+1. **No allocation**: ``tracemalloc`` sees zero allocations from
+   ``repro/steer/`` files while ``Nic.receive`` drives a multi-flow packet
+   stream under the default RSS policy (no tracer installed).
+2. **≤ 10% runtime**: best-of-interleaved-rounds of ``Nic.receive`` under
+   ``RssSteering`` lands within 10% of a hand-inlined
+   ``queues[flow.rss_hash() % n].enqueue`` loop over the same queues and
+   the same packet stream.
+"""
+
+import time
+import tracemalloc
+
+from conftest import show
+
+from repro.core import StandardGRO
+from repro.net import FiveTuple, MSS, Packet
+from repro.nic import Nic, NicConfig
+from repro.sim import Engine
+
+N = 40_000
+FLOWS = 64
+QUEUES = 8
+
+
+def packet_stream():
+    flows = [FiveTuple(1 + (i % 16), 99, 5000 + i, 80) for i in range(FLOWS)]
+    return [Packet(flows[i % FLOWS], (i // FLOWS) * MSS, MSS)
+            for i in range(N)]
+
+
+def make_nic():
+    engine = Engine()
+    # Huge ring + time-only coalescing: nothing fires mid-run, so the
+    # timing loop measures pure demux + enqueue.
+    return Nic(engine, lambda s: None, lambda d: StandardGRO(d),
+               NicConfig(num_queues=QUEUES, ring_size=N + 1,
+                         coalesce_ns=10 ** 12))
+
+
+def drive_policy(packets):
+    nic = make_nic()
+    receive = nic.receive
+    for packet in packets:
+        receive(packet)
+    return nic
+
+
+def drive_inlined(packets):
+    """The pre-steering NIC demux, hand-inlined over the same queues."""
+    nic = make_nic()
+    queues = nic.queues
+    n = QUEUES
+    for packet in packets:
+        queues[packet.flow.rss_hash() % n].enqueue(packet)
+    return nic
+
+
+def _time(fn, packets):
+    start = time.perf_counter()
+    fn(packets)
+    return time.perf_counter() - start
+
+
+def test_rss_steering_allocates_nothing_on_the_data_path():
+    packets = packet_stream()
+    nic = make_nic()  # construction (policy bind) may allocate; path not
+    receive = nic.receive
+    tracemalloc.start()
+    try:
+        before = tracemalloc.take_snapshot()
+        for packet in packets:
+            receive(packet)
+        after = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    assert sum(q.backlog for q in nic.queues) == N
+    steer_allocs = [
+        stat for stat in after.compare_to(before, "filename")
+        if "repro/steer/" in stat.traceback[0].filename.replace("\\", "/")
+        and stat.size_diff > 0
+    ]
+    assert steer_allocs == [], (
+        f"RSS data path allocated in repro.steer: {steer_allocs}")
+
+
+def test_rss_steering_overhead_under_10pct(benchmark):
+    packets = packet_stream()
+    rounds = 7
+    policy_times, inlined_times = [], []
+    drive_policy(packets)  # warm caches before timing
+    drive_inlined(packets)
+    for _ in range(rounds):  # interleave to share any machine noise
+        policy_times.append(_time(drive_policy, packets))
+        inlined_times.append(_time(drive_inlined, packets))
+    best_policy = min(policy_times)
+    best_inlined = min(inlined_times)
+
+    nic = benchmark.pedantic(drive_policy, args=(packets,),
+                             rounds=1, iterations=1)
+    assert sum(q.backlog for q in nic.queues) == N
+    # Both paths steer identically packet-for-packet.
+    reference = drive_inlined(packets)
+    assert [q.backlog for q in nic.queues] == \
+        [q.backlog for q in reference.queues]
+
+    ratio = best_policy / best_inlined
+    show("Microbench — steering layer overhead on Nic.receive (plain RSS)",
+         f"  policy object: {N / best_policy / 1e3:.0f} kpps;  "
+         f"hand-inlined: {N / best_inlined / 1e3:.0f} kpps  "
+         f"(best of {rounds} interleaved rounds)\n"
+         f"  delegation ratio: {ratio:.3f}x  (bound: 1.10x)")
+    assert ratio <= 1.10, (
+        f"RssSteering delegation costs {100 * (ratio - 1):.1f}% "
+        f"over inline demux")

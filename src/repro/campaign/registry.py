@@ -294,6 +294,16 @@ ADAPTERS: Dict[str, Adapter] = {a.name: a for a in [
     ParamsAdapter("scheduling", f"{_E}.flow_scheduling",
                   "extension: PIAS/pFabric flow scheduling",
                   "SchedulingParams"),
+    HiddenGridAdapter("fdir_reordering", f"{_E}.fdir_reordering",
+                      "self-inflicted reordering: steering policy x flow "
+                      "count x churn x GRO engine (see 'juggler-repro "
+                      "steer sweep')",
+                      "FdirParams",
+                      axes=[("policy", "policies"),
+                            ("flow_count", "flow_counts"),
+                            ("churn", "churn_levels"),
+                            ("engine", "engines")],
+                      point_cls="FdirPoint", result_cls="FdirResult"),
     HiddenGridAdapter("faults_matrix", "repro.faults.experiments",
                       "resilience matrix: fault kind x intensity x GRO "
                       "engine (see 'juggler-repro faults matrix')",

@@ -13,6 +13,7 @@
     juggler-repro bench --check                  # hot-path microbenches vs BENCH_core.json
     juggler-repro faults run --plan chaos.json   # one fault plan, one report
     juggler-repro faults matrix --jobs 4         # resilience matrix sweep
+    juggler-repro steer sweep --jobs 4           # self-inflicted reordering
     juggler-repro campaign run --spec sweep.json --store out.jsonl --jobs 4
     juggler-repro campaign resume --spec sweep.json --store out.jsonl
     juggler-repro campaign report --store out.jsonl --json summary.json
@@ -163,6 +164,10 @@ def main(argv=None) -> int:
         from repro.faults.cli import main as faults_main
 
         return faults_main(argv[1:])
+    if argv and argv[0] == "steer":
+        from repro.steer.cli import main as steer_main
+
+        return steer_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="juggler-repro",
         description="Run reproduced experiments from the Juggler paper "
@@ -199,6 +204,8 @@ def main(argv=None) -> int:
               "sweeps (see docs/campaign.md)")
         print("run 'juggler-repro faults run|matrix' for fault injection "
               "and the resilience matrix (see docs/faults.md)")
+        print("run 'juggler-repro steer sweep' for the steering / "
+              "self-inflicted reordering family (see docs/steering.md)")
         return 0
 
     names = (list(EXPERIMENTS) if args.experiments == ["all"]

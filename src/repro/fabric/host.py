@@ -15,6 +15,7 @@ from repro.net.packet import Packet
 from repro.net.segment import Segment
 from repro.nic.nic import GroFactory, Nic, NicConfig
 from repro.sim.engine import Engine
+from repro.steer.policy import SteeringPolicy
 
 SegmentHandler = Callable[[Segment], None]
 
@@ -30,11 +31,13 @@ class Host:
         *,
         nic_config: Optional[NicConfig] = None,
         name: Optional[str] = None,
+        steering: Optional[SteeringPolicy] = None,
     ):
         self.engine = engine
         self.host_id = host_id
         self.name = name if name is not None else f"host{host_id}"
-        self.nic = Nic(engine, self.deliver, gro_factory, nic_config, name=self.name)
+        self.nic = Nic(engine, self.deliver, gro_factory, nic_config,
+                       name=self.name, steering=steering)
         #: Where transmitted packets go (the access link); set by the topology.
         self.tx: Optional[PacketSink] = None
         #: Application-core model; endpoints use it when present.

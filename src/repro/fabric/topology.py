@@ -25,6 +25,7 @@ from repro.faults.injectors import LossInjector
 from repro.faults.plan import FaultPlan
 from repro.nic.nic import GroFactory, NicConfig
 from repro.sim.engine import Engine
+from repro.steer.policy import SteeringPolicy
 
 #: Builds a routing policy; one instance per switch so round-robin state
 #: (and any RNG) is not shared across switches.
@@ -59,6 +60,7 @@ def build_netfpga_pair(
     nic_config: Optional[NicConfig] = None,
     sender_gro_factory: Optional[GroFactory] = None,
     fault_plan: Optional[FaultPlan] = None,
+    receiver_steering: Optional[SteeringPolicy] = None,
 ) -> NetfpgaTestbed:
     """Two hosts joined by a reordering switch on the data direction.
 
@@ -73,8 +75,13 @@ def build_netfpga_pair(
     queues; host-layer faults need receivers bound by the caller via
     ``testbed.faults.bind(receivers=...)``.  With no plan the packet path
     is untouched.
+
+    ``receiver_steering`` selects the receiver NIC's steering policy
+    (default RSS); the ``fdir_reordering`` experiments pass a
+    :class:`~repro.steer.flow_director.FlowDirectorSteering` here.
     """
-    receiver = Host(engine, 1, gro_factory, nic_config=nic_config, name="receiver")
+    receiver = Host(engine, 1, gro_factory, nic_config=nic_config,
+                    name="receiver", steering=receiver_steering)
     sender = Host(
         engine,
         0,
@@ -111,6 +118,7 @@ def build_netfpga_pair(
         faults.bind(
             links=[sender_link, switch.fast_queue, switch.slow_queue],
             rxqueues=list(receiver.nic.queues),
+            nics=[receiver.nic],
         )
         faults.start()
 

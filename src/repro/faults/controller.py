@@ -59,6 +59,7 @@ class FaultEngine:
         self.links: List = []
         self.rxqueues: List = []
         self.receivers: List = []
+        self.nics: List = []
         #: Window-boundary counters.
         self.injected = 0
         self.cleared = 0
@@ -101,11 +102,12 @@ class FaultEngine:
         return head
 
     def bind(self, links: Iterable = (), rxqueues: Iterable = (),
-             receivers: Iterable = ()) -> None:
+             receivers: Iterable = (), nics: Iterable = ()) -> None:
         """Register environment-fault targets (extends on repeat calls)."""
         self.links.extend(links)
         self.rxqueues.extend(rxqueues)
         self.receivers.extend(receivers)
+        self.nics.extend(nics)
 
     def start(self) -> None:
         """Schedule every activation window on the engine timeline."""
@@ -172,6 +174,15 @@ class FaultEngine:
             for rxq in self.rxqueues:
                 rxq.stall()
                 reverts.append(rxq.unstall)
+        elif spec.kind == "steering_churn":
+            # A one-shot control-plane event, not a held perturbation: the
+            # rebalance happens at window open, nothing reverts at close —
+            # the damage (stale rules, cross-queue handoffs) plays out on
+            # its own as sampled installs catch up.
+            fraction = float(spec.param("migrate_fraction"))
+            flush = bool(spec.param("flush_table"))
+            for nic in self.nics:
+                nic.steering.rebalance(fraction, flush_table=flush)
         elif spec.kind == "receiver_stall":
             for receiver in self.receivers:
                 reverts.append(_unstall_receiver(receiver))

@@ -40,6 +40,7 @@ from repro.nic.nic import NicConfig
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 from repro.sim.time import MS, US
+from repro.steer import FlowDirectorConfig, FlowDirectorSteering
 from repro.tcp.config import TcpConfig
 from repro.tcp.connection import Connection
 from repro.workloads.rpc import RpcWorkload
@@ -73,6 +74,9 @@ _PRESETS: Dict[str, tuple] = {
     "ring_overflow": (({"ring_size": 64}, 1000), ({"ring_size": 16}, 1000),
                       ({"ring_size": 4}, 1000)),
     "pause_poll": (({}, 100), ({}, 250), ({}, 600)),
+    "steering_churn": (({"migrate_fraction": 0.25}, 1000),
+                       ({"migrate_fraction": 0.5}, 1000),
+                       ({"migrate_fraction": 1.0, "flush_table": True}, 1000)),
     "receiver_stall": (({}, 100), ({}, 300), ({}, 800)),
 }
 
@@ -210,14 +214,23 @@ def run_scenario(params: MatrixParams, plan: FaultPlan, engine_name: str,
         ofo_timeout=params.ofo_timeout_us * US,
         table_capacity=params.table_capacity,
     )
+    # steering_churn rebalances the NIC's steering policy — against the
+    # default single-queue RSS NIC it would be a no-op, so those cells get
+    # a multi-queue Flow Director receiver (the substrate that can churn).
+    churns = any(s.kind == "steering_churn" for s in plan.faults)
+    steering = (FlowDirectorSteering(FlowDirectorConfig(sample_rate=4),
+                                     rng=rng.stream("steer"))
+                if churns else None)
     bed = build_netfpga_pair(
         sim,
         rng.stream("fabric"),
         gro_factory(engine_name, config),
         rate_gbps=params.rate_gbps,
         reorder_delay_ns=params.reorder_delay_us * US,
-        nic_config=NicConfig(coalesce_ns=params.coalesce_us * US),
+        nic_config=NicConfig(coalesce_ns=params.coalesce_us * US,
+                             num_queues=4 if churns else 1),
         fault_plan=plan,
+        receiver_steering=steering,
     )
     conns = [
         Connection(sim, bed.sender, bed.receiver, 1_000 + i, 80, TcpConfig())

@@ -25,6 +25,7 @@ link      queue_saturation  clamp queue capacity -> forced tail drops
 link      ce_storm          zero the ECN threshold -> CE-mark storm
 nic       ring_overflow     shrink the rx ring -> host drops
 nic       pause_poll        stall NAPI polling (interrupt storm)
+nic       steering_churn    rebalance flow steering -> cross-queue handoffs
 host      receiver_stall    app stops reading -> advertised window closes
 ========  ================  ==============================================
 """
@@ -52,6 +53,8 @@ KINDS: Dict[str, Tuple[str, Dict[str, object]]] = {
     "ce_storm": ("link", {"threshold_bytes": 0}),
     "ring_overflow": ("nic", {"ring_size": 8}),
     "pause_poll": ("nic", {}),
+    "steering_churn": ("nic", {"migrate_fraction": 0.5,
+                               "flush_table": False}),
     "receiver_stall": ("host", {}),
 }
 

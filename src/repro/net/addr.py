@@ -22,7 +22,7 @@ class FiveTuple:
     construction (mutating one would corrupt every dict it keys).
     """
 
-    __slots__ = ("src", "dst", "sport", "dport", "proto", "_hash")
+    __slots__ = ("src", "dst", "sport", "dport", "proto", "_hash", "_rss")
 
     def __init__(self, src: int, dst: int, sport: int, dport: int,
                  proto: int = 6):
@@ -32,6 +32,14 @@ class FiveTuple:
         self.dport = dport
         self.proto = proto  # 6 = TCP
         self._hash = hash((src, dst, sport, dport, proto))
+        # The NIC probes the RSS hash once per packet (steering demux);
+        # computed here, beside _hash, for the same reason _hash is.
+        h = 0xCBF29CE484222325
+        for field in (src, dst, sport, dport, proto):
+            h ^= field & 0xFFFFFFFF
+            h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+            h ^= h >> 29
+        self._rss = h
 
     def __hash__(self) -> int:
         return self._hash
@@ -53,14 +61,11 @@ class FiveTuple:
 
         Real NICs hash the five-tuple so all packets of one flow land on one
         RX queue; any well-mixed deterministic function reproduces that
-        behaviour.  We use an FNV-1a style mix over the tuple fields.
+        behaviour.  We use an FNV-1a style mix over the tuple fields,
+        computed once at construction (``_rss``) — the NIC demuxes every
+        wire packet through this value.
         """
-        h = 0xCBF29CE484222325
-        for field in (self.src, self.dst, self.sport, self.dport, self.proto):
-            h ^= field & 0xFFFFFFFF
-            h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
-            h ^= h >> 29
-        return h
+        return self._rss
 
     def __str__(self) -> str:
         return f"{self.src}:{self.sport}->{self.dst}:{self.dport}/{self.proto}"

@@ -1,4 +1,4 @@
-"""A multi-queue NIC: RSS demultiplexing onto per-queue GRO instances."""
+"""A multi-queue NIC: pluggable steering onto per-core GRO contexts."""
 
 from __future__ import annotations
 
@@ -9,6 +9,9 @@ from repro.core.base import DeliverFn, GroEngine
 from repro.net.packet import Packet
 from repro.nic.rxqueue import RxQueue
 from repro.sim.engine import Engine
+from repro.steer.coreset import CoreSet
+from repro.steer.policy import RssSteering, SteeringPolicy
+from repro.trace import runtime as trace_runtime
 
 #: Builds one GRO engine per RX queue; receives that queue's deliver fn.
 GroFactory = Callable[[DeliverFn], GroEngine]
@@ -40,12 +43,15 @@ class NicConfig:
 
 
 class Nic:
-    """RSS front-end over ``num_queues`` independent RX queues.
+    """Steering front-end over ``num_queues`` independent receive cores.
 
-    All packets of one five-tuple land on one queue (Toeplitz-style hash),
-    so per-queue GRO state never sees cross-queue interleaving — the same
-    invariant Juggler relies on (§4: "different RX queues operate
-    independently and have their private data structures").
+    The demux decision is delegated to a :class:`SteeringPolicy` — plain
+    RSS by default, which preserves the historical behaviour bit-for-bit:
+    all packets of one five-tuple land on one queue, so per-queue GRO state
+    never sees cross-queue interleaving (§4: "different RX queues operate
+    independently and have their private data structures").  Stateful
+    policies (Flow Director) may *break* that invariant mid-flow, which is
+    precisely the pathology ``experiments/fdir_reordering`` measures.
     """
 
     def __init__(
@@ -55,30 +61,50 @@ class Nic:
         gro_factory: GroFactory,
         config: Optional[NicConfig] = None,
         name: str = "nic",
+        *,
+        steering: Optional[SteeringPolicy] = None,
     ):
         self.config = config if config is not None else NicConfig()
         self.name = name
-        self.queues: List[RxQueue] = []
-        for i in range(self.config.num_queues):
-            gro = gro_factory(deliver)
-            self.queues.append(
-                RxQueue(
-                    engine,
-                    gro,
-                    coalesce_ns=self.config.coalesce_ns,
-                    coalesce_frames=self.config.coalesce_frames,
-                    ring_size=self.config.ring_size,
-                    name=f"{name}.rxq{i}",
-                )
-            )
+        self.tracer = trace_runtime.current()
+        prefix = None
+        if self.tracer is not None:
+            prefix = f"steer{self.tracer.component_index('steer')}"
+        self.cores = CoreSet(
+            engine,
+            deliver,
+            gro_factory,
+            num_cores=self.config.num_queues,
+            coalesce_ns=self.config.coalesce_ns,
+            coalesce_frames=self.config.coalesce_frames,
+            ring_size=self.config.ring_size,
+            name=name,
+            tracer=self.tracer,
+            metrics_prefix=prefix,
+        )
+        self.queues: List[RxQueue] = self.cores.queues
+        self.steering = steering if steering is not None else RssSteering()
+        self.steering.bind(self.config.num_queues, engine=engine,
+                           tracer=self.tracer, metrics_prefix=prefix)
+        # Per-wire-packet path, pinned as an instance attribute: queue list
+        # and policy lookup are captured once here so receive() pays no
+        # ``self`` attribute hops (benchmarks/test_steer_overhead.py holds
+        # this at parity with the pre-policy inline demux).
+        queues = self.queues
+        steer = self.steering.queue_index
+
+        def receive(packet: Packet) -> None:
+            queues[steer(packet.flow)].enqueue(packet)
+
+        self.receive = receive  # type: ignore[method-assign]
 
     def queue_for(self, packet: Packet) -> RxQueue:
-        """The RX queue this packet's flow hashes to."""
-        return self.queues[packet.flow.rss_hash() % len(self.queues)]
+        """The RX queue this packet's flow is steered to (pure probe)."""
+        return self.queues[self.steering.current_queue(packet.flow)]
 
     def receive(self, packet: Packet) -> None:
-        """Entry point from the wire."""
-        self.queue_for(packet).enqueue(packet)
+        """Entry point from the wire (data path: may tick the policy)."""
+        self.queues[self.steering.queue_index(packet.flow)].enqueue(packet)
 
     @property
     def dropped(self) -> int:
@@ -86,6 +112,14 @@ class Nic:
         return sum(q.dropped for q in self.queues)
 
     def drain(self) -> None:
-        """Teardown: force-process all rings and flush all GRO state."""
+        """Teardown: force-process all rings and flush all GRO state.
+
+        When tracing is on, also reconciles final per-queue poll/drop
+        counters into the metrics registry — multi-queue runs previously
+        reported only the NIC-level ``dropped`` aggregate, losing which
+        queue overflowed.
+        """
         for queue in self.queues:
             queue.drain()
+        if self.tracer is not None:
+            self.cores.reconcile(self.tracer.metrics)

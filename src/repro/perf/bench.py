@@ -17,9 +17,11 @@ from typing import Callable, Dict, List, Optional
 from repro.core.config import JugglerConfig
 from repro.core.juggler import JugglerGRO
 from repro.core.standard_gro import StandardGRO
+from repro.net.addr import FiveTuple
 from repro.perf import workloads
 from repro.sim.engine import Engine
 from repro.sim.timer import Timer
+from repro.steer import FlowDirectorConfig, FlowDirectorSteering, RssSteering
 
 
 @dataclass(frozen=True)
@@ -114,6 +116,48 @@ def _bench_timer_rearm() -> tuple:
     return _timed_rate(work)
 
 
+# -- steering benches ---------------------------------------------------------
+
+_STEER_FLOWS = 512
+_STEER_LOOKUPS = 200_000
+_STEER_QUEUES = 8
+#: Rebalance cadence for the churn bench — frequent enough that stale
+#: rules, migrations and signature evictions stay a steady fraction of
+#: the lookups rather than a warm-up transient.
+_STEER_REBALANCE_EVERY = 5_000
+
+
+def _steer_flows() -> list:
+    return [FiveTuple(1 + (i % 16), 99, 10_000 + i, 80)
+            for i in range(_STEER_FLOWS)]
+
+
+def _bench_rss_demux() -> tuple:
+    flows = _steer_flows()
+    policy = RssSteering()
+    policy.bind(_STEER_QUEUES)
+
+    def work() -> int:
+        workloads.steering_lookup_churn(policy, flows, _STEER_LOOKUPS)
+        return _STEER_LOOKUPS
+    return _timed_rate(work)
+
+
+def _bench_flow_director_churn() -> tuple:
+    flows = _steer_flows()
+    policy = FlowDirectorSteering(
+        FlowDirectorConfig(table_size=256, sample_rate=8))
+    policy.bind(_STEER_QUEUES)
+
+    def work() -> int:
+        workloads.steering_lookup_churn(policy, flows, _STEER_LOOKUPS,
+                                        rebalance_every=_STEER_REBALANCE_EVERY)
+        return _STEER_LOOKUPS
+    items, elapsed = _timed_rate(work)
+    assert policy.migrations > 0 and policy.rule_evictions > 0
+    return items, elapsed
+
+
 # -- allocation bench ---------------------------------------------------------
 
 
@@ -173,6 +217,15 @@ BENCHES: Dict[str, BenchSpec] = {
             "engine.timer_rearm", "rearms/s", True,
             _bench_timer_rearm,
             "hrtimer re-arm churn (cancel + reschedule per poll)"),
+        BenchSpec(
+            "steer.rss_demux", "lookups/s", True,
+            _bench_rss_demux,
+            "stateless RSS queue_index over 512 flows, 8 queues"),
+        BenchSpec(
+            "steer.flow_director_churn", "lookups/s", True,
+            _bench_flow_director_churn,
+            "Flow Director lookups under periodic rebalance churn "
+            "(installs + migrations + signature evictions)"),
         BenchSpec(
             "alloc.gro_drive_peak_kb", "KiB", False,
             _bench_alloc_gro_drive,

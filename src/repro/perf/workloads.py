@@ -80,6 +80,27 @@ def drive_gro(gro, packets: List[Packet], *, batch: int = 32,
     gro.flush_all(now + 1)
 
 
+def steering_lookup_churn(policy, flows: List[FiveTuple], lookups: int,
+                          *, rebalance_every: int = 0) -> int:
+    """The NIC demux inner loop: one ``queue_index`` call per packet.
+
+    Cycles the flow set round-robin for ``lookups`` packets; when
+    ``rebalance_every`` is non-zero the policy is rebalanced on that cadence
+    (half the groups each time), which keeps Flow Director's
+    install/migrate/evict machinery hot instead of settling into pure
+    table hits.  Returns a checksum of the chosen queues so the loop
+    cannot be optimised away.
+    """
+    n_flows = len(flows)
+    queue_index = policy.queue_index
+    acc = 0
+    for i in range(lookups):
+        acc += queue_index(flows[i % n_flows])
+        if rebalance_every and (i + 1) % rebalance_every == 0:
+            policy.rebalance(0.5)
+    return acc
+
+
 def engine_event_churn(engine_cls, n_events: int) -> int:
     """Schedule/fire churn through the event engine.
 

@@ -1,0 +1,52 @@
+"""repro.steer — the multi-core receive path's steering stage.
+
+Which RX queue does a wire packet land on?  Juggler (§4) assumes the NIC
+answers that question *stably* — one flow, one queue, private GRO state —
+but real NICs expose several answers with very different failure modes:
+
+* :class:`RssSteering` — stateless Toeplitz-style hashing; stable, and the
+  byte-identical default (the pre-steering NIC demux, now a policy).
+* :class:`FlowDirectorSteering` — Intel ATR modelled faithfully enough to
+  reproduce its documented pathology: sampled rule installs lag affinity
+  changes, so a migrating flow's in-flight packets straddle two queues and
+  arrive at TCP reordered with zero fabric misbehaviour.
+* :class:`StaticAffinitySteering` — explicit pins, the control arm.
+
+:class:`CoreSet` supplies the per-core receive contexts (RX queue + private
+GRO shard, per-shard ``steer.*`` metrics) the policies steer into.  The
+``steering_churn`` fault kind (repro.faults) drives ``rebalance()`` from
+fault plans, and the ``fdir_reordering`` experiment family (repro.
+experiments.fdir_reordering) sweeps policy x flow count x churn x engine.
+"""
+
+from repro.steer.coreset import CoreSet, RxCore
+from repro.steer.flow_director import FlowDirectorConfig, FlowDirectorSteering
+from repro.steer.policy import RssSteering, SteeringPolicy
+from repro.steer.static import StaticAffinitySteering
+
+__all__ = [
+    "SteeringPolicy",
+    "RssSteering",
+    "FlowDirectorSteering",
+    "FlowDirectorConfig",
+    "StaticAffinitySteering",
+    "CoreSet",
+    "RxCore",
+]
+
+
+def make_policy(name: str, **kwargs) -> SteeringPolicy:
+    """Build a policy by grid name (``rss``/``flow_director``/``static``).
+
+    ``kwargs`` are forwarded to the policy constructor — the experiment
+    runner uses this to hand Flow Director its config and seeded rng.
+    """
+    if name == "rss":
+        return RssSteering()
+    if name == "flow_director":
+        return FlowDirectorSteering(**kwargs)
+    if name == "static":
+        return StaticAffinitySteering(**kwargs)
+    raise ValueError(
+        f"unknown steering policy {name!r} "
+        "(expected rss, flow_director, or static)")

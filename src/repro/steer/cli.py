@@ -1,0 +1,127 @@
+"""``juggler-repro steer`` — the self-inflicted-reordering sweep.
+
+::
+
+    juggler-repro steer sweep                        # full family
+    juggler-repro steer sweep --policies rss,flow_director --flows 8 \\
+        --churn 0,2 --gros juggler,standard --jobs 4 \\
+        --store fdir.jsonl --json out.json
+
+``sweep`` routes the ``fdir_reordering`` family (steering policy × flow
+count × churn level × GRO engine) through the campaign scheduler —
+parallel and resumable: re-running with the same ``--store`` skips
+completed cells.  See docs/steering.md for the model and the column
+vocabulary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.experiments.fdir_reordering import FdirParams
+
+
+def _csv(text: str, cast=str) -> list:
+    return [cast(part.strip()) for part in text.split(",") if part.strip()]
+
+
+def cmd_sweep(argv) -> int:
+    """The fdir_reordering sweep, via the campaign scheduler."""
+    import tempfile
+
+    from repro.campaign import (
+        CampaignSpec,
+        ExperimentSpec,
+        ResultStore,
+        SchedulerConfig,
+        expand,
+        render_report,
+        run_campaign,
+    )
+
+    defaults = FdirParams()
+    parser = argparse.ArgumentParser(
+        prog="juggler-repro steer sweep",
+        description="Sweep steering policy x flow count x churn x GRO "
+                    "engine; parallel and resumable via repro.campaign.",
+    )
+    parser.add_argument("--policies", default=",".join(defaults.policies),
+                        help="comma-separated steering policies "
+                             "(rss, flow_director, static)")
+    parser.add_argument("--flows",
+                        default=",".join(map(str, defaults.flow_counts)),
+                        help="comma-separated concurrent flow counts")
+    parser.add_argument("--churn",
+                        default=",".join(map(str, defaults.churn_levels)),
+                        help="comma-separated churn levels (0..3)")
+    parser.add_argument("--gros", default=",".join(defaults.engines),
+                        help="comma-separated GRO engines")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="campaign root seed (default: the experiment's "
+                             "baked-in seed)")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="result JSONL; reuse to resume (default: temp)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a JSON summary here")
+    args = parser.parse_args(argv)
+
+    grid = {
+        "policy": _csv(args.policies),
+        "flow_count": _csv(args.flows, int),
+        "churn": _csv(args.churn, int),
+        "engine": _csv(args.gros),
+    }
+    spec = CampaignSpec(
+        name="fdir-reordering",
+        experiments=(ExperimentSpec("fdir_reordering", grid=grid),),
+        seed=args.seed,
+    )
+    try:
+        tasks = expand(spec)
+    except (KeyError, ValueError) as exc:
+        print(f"bad sweep selection: {exc}", file=sys.stderr)
+        return 2
+
+    store_path = args.store
+    if store_path is None:
+        fd, store_path = tempfile.mkstemp(prefix="juggler_steer_",
+                                          suffix=".jsonl")
+        os.close(fd)
+    store = ResultStore(store_path)
+    print(f"fdir reordering sweep: {len(tasks)} cell(s), "
+          f"{args.jobs} worker(s); results -> {store_path}")
+    stats = run_campaign(tasks, store, SchedulerConfig(jobs=max(1, args.jobs)),
+                         progress=print)
+    print(stats.summary_line(spec.name))
+    print()
+    print(render_report(store.load(), spec))
+    if args.json:
+        payload = {
+            "spec": spec.to_dict(),
+            "planned": stats.planned,
+            "skipped": stats.skipped,
+            "failed": stats.failed,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"summary written to {args.json}")
+    return 0 if stats.failed == 0 else 1
+
+
+def main(argv) -> int:
+    """``juggler-repro steer`` dispatcher."""
+    if argv and argv[0] == "sweep":
+        return cmd_sweep(argv[1:])
+    print("usage: juggler-repro steer sweep [options]\n"
+          "  sweep  steering policy x flow count x churn x GRO engine\n"
+          "see docs/steering.md", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

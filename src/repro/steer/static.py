@@ -1,0 +1,55 @@
+"""Pinned static affinity — the ground-truth steering policy.
+
+Every flow is explicitly pinned to a queue (``ethtool -N ... flow-type``
+style n-tuple rules); unpinned flows fall back to RSS.  Nothing ever
+migrates, so any reordering observed under this policy is, by
+construction, *not* the steering layer's doing — which is exactly what an
+experiment needs on the control arm when measuring Flow Director's
+self-inflicted reordering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.net.addr import FiveTuple
+from repro.steer.policy import SteeringPolicy
+
+
+class StaticAffinitySteering(SteeringPolicy):
+    """An explicit flow → queue pin table with RSS fallback."""
+
+    name = "static"
+
+    def __init__(self, pins: Optional[Mapping[FiveTuple, int]] = None):
+        super().__init__()
+        self._pins: Dict[FiveTuple, int] = dict(pins) if pins else {}
+        self.pinned_hits = 0
+        self.fallback_lookups = 0
+
+    def pin(self, flow: FiveTuple, queue: int) -> None:
+        """Pin ``flow`` to ``queue`` (indices wrap modulo the queue count)."""
+        if queue < 0:
+            raise ValueError(f"queue index must be >= 0, got {queue}")
+        self._pins[flow] = queue
+
+    def queue_index(self, flow: FiveTuple) -> int:
+        queue = self._pins.get(flow)
+        if queue is None:
+            self.fallback_lookups += 1
+            return flow.rss_hash() % self._n
+        self.pinned_hits += 1
+        return queue % self._n
+
+    def current_queue(self, flow: FiveTuple) -> int:
+        queue = self._pins.get(flow)
+        if queue is None:
+            return flow.rss_hash() % self._n
+        return queue % self._n
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "pins": len(self._pins),
+            "pinned_hits": self.pinned_hits,
+            "fallback_lookups": self.fallback_lookups,
+        }

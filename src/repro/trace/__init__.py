@@ -25,6 +25,8 @@ from repro.trace.events import (
     Merge,
     PacketRx,
     PhaseTransition,
+    SteerMigration,
+    SteerRebalance,
     TcpDelivery,
     TimerFire,
     TraceEvent,
@@ -57,6 +59,8 @@ __all__ = [
     "Eviction",
     "TimerFire",
     "TcpDelivery",
+    "SteerMigration",
+    "SteerRebalance",
     "Counter",
     "Gauge",
     "HistogramMetric",

@@ -38,6 +38,10 @@ class EventKind(enum.Enum):
     FAULT_INJECTED = "fault_injected"
     #: A fault-plan window closed; the perturbation was reverted.
     FAULT_CLEARED = "fault_cleared"
+    #: A steering rule moved a flow between RX queues (see repro.steer).
+    STEER_MIGRATION = "steer_migration"
+    #: The steering policy rebalanced its affinity assignment.
+    STEER_REBALANCE = "steer_rebalance"
 
 
 def _plain(value: Any) -> Any:
@@ -165,3 +169,28 @@ class FaultCleared(TraceEvent):
 
     name: str
     fault: str
+
+
+@dataclass(frozen=True, slots=True)
+class SteerMigration(TraceEvent):
+    """A steering rule moved ``flow`` from ``old_queue`` to ``new_queue``.
+
+    In-flight packets of the flow may now land on both queues — the
+    self-inflicted reordering window (see repro.steer.flow_director).
+    """
+
+    kind: ClassVar[EventKind] = EventKind.STEER_MIGRATION
+
+    flow: Any
+    old_queue: int
+    new_queue: int
+
+
+@dataclass(frozen=True, slots=True)
+class SteerRebalance(TraceEvent):
+    """The steering policy re-assigned ``groups_moved`` affinity groups."""
+
+    kind: ClassVar[EventKind] = EventKind.STEER_REBALANCE
+
+    groups_moved: int
+    flushed: bool

@@ -33,6 +33,8 @@ from repro.trace.events import (
     Merge,
     PacketRx,
     PhaseTransition,
+    SteerMigration,
+    SteerRebalance,
     TcpDelivery,
     TimerFire,
     TraceEvent,
@@ -164,3 +166,16 @@ class Tracer:
         """A fault-plan window closed; its perturbation was reverted."""
         if self.wants(EventKind.FAULT_CLEARED):
             self.emit(FaultCleared(self._stamp(now), name, fault))
+
+    def steer_migration(self, now: int, flow, old_queue: int,
+                        new_queue: int) -> None:
+        """A steering rule moved a flow between RX queues."""
+        if self.wants(EventKind.STEER_MIGRATION):
+            self.emit(SteerMigration(self._stamp(now), flow, old_queue,
+                                     new_queue))
+
+    def steer_rebalance(self, now: int, groups_moved: int,
+                        flushed: bool) -> None:
+        """The steering policy rebalanced its affinity assignment."""
+        if self.wants(EventKind.STEER_REBALANCE):
+            self.emit(SteerRebalance(self._stamp(now), groups_moved, flushed))

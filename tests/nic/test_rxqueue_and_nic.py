@@ -154,3 +154,84 @@ def test_nic_dropped_aggregates_queues():
     for i in range(5):
         nic.receive(pkt(i * MSS))
     assert nic.dropped == 3
+
+
+# -- pluggable steering --------------------------------------------------------
+
+
+def test_nic_default_steering_is_rss():
+    from repro.steer import RssSteering
+
+    engine = Engine()
+    nic = Nic(engine, lambda s: None,
+              lambda d: StandardGRO(d), NicConfig(num_queues=4))
+    assert isinstance(nic.steering, RssSteering)
+    for i in range(32):
+        flow = FiveTuple(i, 2, 5000 + i, 80)
+        assert nic.queue_for(Packet(flow, 0, MSS)) is \
+            nic.queues[flow.rss_hash() % 4]
+
+
+def test_nic_honors_static_affinity_policy():
+    from repro.steer import StaticAffinitySteering
+
+    engine = Engine()
+    flow_a, flow_b = FiveTuple(1, 2, 5000, 80), FiveTuple(1, 2, 5001, 80)
+    steering = StaticAffinitySteering({flow_a: 3, flow_b: 0})
+    nic = Nic(engine, lambda s: None, lambda d: StandardGRO(d),
+              NicConfig(num_queues=4), steering=steering)
+    nic.receive(pkt(0, flow_a))
+    nic.receive(pkt(0, flow_b))
+    assert nic.queues[3].backlog == 1
+    assert nic.queues[0].backlog == 1
+
+
+def test_nic_flow_director_rebalance_moves_traffic_between_queues():
+    import random
+
+    from repro.steer import FlowDirectorConfig, FlowDirectorSteering
+
+    engine = Engine()
+    steering = FlowDirectorSteering(
+        FlowDirectorConfig(sample_rate=1, groups=4),
+        rng=random.Random(3))
+    nic = Nic(engine, lambda s: None, lambda d: StandardGRO(d),
+              NicConfig(num_queues=4, coalesce_ns=10 * US),
+              steering=steering)
+    flows = [FiveTuple(i, 2, 5000 + i, 80) for i in range(16)]
+    seq = [0] * 16
+    used = set()
+    for round_ in range(24):
+        for i, flow in enumerate(flows):
+            nic.receive(Packet(flow, seq[i], MSS))
+            seq[i] += MSS
+            used.add(nic.steering.current_queue(flow))
+        engine.run_until((round_ + 1) * 20 * US)
+        nic.steering.rebalance(1.0)
+    assert steering.migrations > 0
+    assert len(used) > 1
+
+
+def test_nic_drain_reconciles_per_queue_metrics():
+    """Satellite: drain() writes final per-queue polls/drop counters."""
+    from repro.trace import Tracer, runtime
+    from repro.trace.sinks import CallbackSink
+
+    tracer = Tracer([CallbackSink(lambda e: None)])
+    with runtime.tracing(tracer):
+        engine = Engine()
+        nic = Nic(engine, lambda s: None,
+                  lambda d: StandardGRO(d),
+                  NicConfig(num_queues=2, ring_size=2, coalesce_ns=50 * US))
+        # 5 packets of one flow land on one queue: ring 2 -> 3 drops there.
+        for i in range(5):
+            nic.receive(pkt(i * MSS))
+        hot = nic.queue_for(pkt(0))
+        hot_index = nic.queues.index(hot)
+        engine.run_until(60 * US)
+        nic.drain()
+        snap = tracer.metrics.snapshot()
+        assert snap[f"nic.rxq{hot_index}.dropped"] == 3
+        assert snap[f"nic.rxq{1 - hot_index}.dropped"] == 0
+        assert snap[f"nic.rxq{hot_index}.polls"] >= 1
+        assert snap[f"nic.rxq{hot_index}.delivered"] == 2

@@ -1,0 +1,157 @@
+"""Property tests: shard privacy under Flow Director migration, with JSAN.
+
+The §4 invariant the steering layer must never break *structurally*: each
+core's GRO shard holds only flows the policy actually steered to it.  Flow
+Director migrations make a flow's *stream* straddle two shards in time —
+that is the measured pathology — but a shard must never end up holding
+state for a flow that was never steered its way, and the per-shard
+lifecycle invariants (Table 1 / Figure 5, §4.3 eviction order) must hold
+on every shard throughout, which JSAN enforces packet-by-packet.
+"""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis.sanitizer import Sanitizer
+from repro.core import JugglerConfig, JugglerGRO
+from repro.net import FiveTuple, MSS, Packet
+from repro.sim.time import US
+from repro.steer import CoreSet, FlowDirectorConfig, FlowDirectorSteering
+from repro.steer.coreset import RECONCILED_FIELDS
+from repro.trace.metrics import MetricsRegistry
+
+
+def make_shards(n_queues):
+    """Per-queue JugglerGRO instances, each with its own sanitizer."""
+    shards, sanitizers = [], []
+    for _ in range(n_queues):
+        sanitizer = Sanitizer()
+        gro = JugglerGRO(lambda segment: None,
+                         JugglerConfig(inseq_timeout=50 * US,
+                                       ofo_timeout=200 * US,
+                                       table_capacity=16))
+        gro.attach_sanitizer(sanitizer)
+        shards.append(gro)
+        sanitizers.append(sanitizer)
+    return shards, sanitizers
+
+
+@st.composite
+def steering_runs(draw):
+    """(n_queues, flow count, packet schedule, rebalance points)."""
+    n_queues = draw(st.integers(min_value=2, max_value=6))
+    n_flows = draw(st.integers(min_value=2, max_value=12))
+    n_packets = draw(st.integers(min_value=20, max_value=120))
+    schedule = draw(st.lists(
+        st.integers(min_value=0, max_value=n_flows - 1),
+        min_size=n_packets, max_size=n_packets))
+    rebalances = draw(st.sets(
+        st.integers(min_value=0, max_value=n_packets - 1), max_size=6))
+    flush = draw(st.booleans())
+    seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+    return n_queues, n_flows, schedule, sorted(rebalances), flush, seed
+
+
+@given(steering_runs())
+@settings(max_examples=60, deadline=None)
+def test_no_shard_holds_a_flow_it_was_never_steered(case):
+    n_queues, n_flows, schedule, rebalances, flush, seed = case
+    policy = FlowDirectorSteering(
+        FlowDirectorConfig(sample_rate=3, groups=8, table_size=32),
+        rng=random.Random(seed))
+    policy.bind(n_queues)
+    shards, sanitizers = make_shards(n_queues)
+    flows = [FiveTuple(1, 2, 5000 + i, 80) for i in range(n_flows)]
+    seq_next = [0] * n_flows
+    steered_to = [set() for _ in range(n_queues)]  # shard -> flows sent there
+
+    now = 0
+    rebalance_points = set(rebalances)
+    for step, flow_idx in enumerate(schedule):
+        flow = flows[flow_idx]
+        queue = policy.queue_index(flow)
+        assert 0 <= queue < n_queues
+        steered_to[queue].add(flow)
+        now += 2 * US
+        shards[queue].receive(Packet(flow, seq_next[flow_idx], MSS), now)
+        seq_next[flow_idx] += MSS
+        if step in rebalance_points:
+            policy.rebalance(0.5, flush_table=flush)
+
+    # Shard privacy: a shard's gro_table keys are a subset of the flows
+    # the policy ever steered to that shard — state never leaks sideways.
+    for queue, gro in enumerate(shards):
+        resident = {entry.key for entry in gro.table}
+        assert resident <= steered_to[queue], (
+            f"shard {queue} holds flows it was never steered: "
+            f"{resident - steered_to[queue]}")
+
+    # After migrations settle (the flow's packets all land on its current
+    # queue), the flow's *live* state converges onto one shard: flush every
+    # shard and re-drive one packet per flow — exactly one shard may then
+    # hold it, and it must be the policy's current answer.
+    now += 1000 * US
+    for gro in shards:
+        gro.flush_all(now)
+        assert len(gro.table) == 0
+    for i, flow in enumerate(flows):
+        queue = policy.current_queue(flow)
+        now += 2 * US
+        shards[queue].receive(Packet(flow, seq_next[i], MSS), now)
+    for queue, gro in enumerate(shards):
+        for entry in gro.table:
+            assert policy.current_queue(entry.key) == queue
+
+    # JSAN ran on every shard and found nothing (it raises at violation).
+    assert sum(s.checks_run for s in sanitizers) > 0
+
+
+@given(steering_runs())
+@settings(max_examples=30, deadline=None)
+def test_steering_decisions_replay_byte_identically(case):
+    n_queues, n_flows, schedule, rebalances, flush, seed = case
+    flows = [FiveTuple(1, 2, 5000 + i, 80) for i in range(n_flows)]
+
+    def run():
+        policy = FlowDirectorSteering(
+            FlowDirectorConfig(sample_rate=3, groups=8, table_size=32),
+            rng=random.Random(seed))
+        policy.bind(n_queues)
+        decisions = []
+        points = set(rebalances)
+        for step, flow_idx in enumerate(schedule):
+            decisions.append(policy.queue_index(flows[flow_idx]))
+            if step in points:
+                policy.rebalance(0.5, flush_table=flush)
+        return decisions, policy.counters()
+
+    assert run() == run()
+
+
+def test_coreset_reconcile_is_idempotent_and_per_queue():
+    """Satellite: drain-time reconciliation accounts drops per queue."""
+    from repro.sim import Engine
+
+    engine = Engine()
+    coreset = CoreSet(engine, lambda segment: None,
+                      lambda deliver: JugglerGRO(deliver, JugglerConfig()),
+                      num_cores=3, coalesce_ns=100 * US,
+                      coalesce_frames=0, ring_size=2, name="nic")
+    flow = FiveTuple(1, 2, 5000, 80)
+    target = coreset.queues[1]
+    for i in range(5):  # ring_size 2 -> 3 drops on queue 1 only
+        target.enqueue(Packet(flow, i * MSS, MSS))
+    metrics = MetricsRegistry()
+    coreset.reconcile(metrics)
+    snap = metrics.snapshot()
+    assert snap["nic.rxq1.dropped"] == 3
+    assert snap["nic.rxq0.dropped"] == 0
+    coreset.reconcile(metrics)  # idempotent
+    assert metrics.snapshot()["nic.rxq1.dropped"] == 3
+    assert set(RECONCILED_FIELDS) <= {
+        name.rsplit(".", 1)[1] for name in snap}
+    totals = coreset.totals()
+    assert totals["dropped"] == 3
+    assert coreset.imbalance() == 1.0  # nothing delivered yet
