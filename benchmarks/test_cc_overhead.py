@@ -1,0 +1,184 @@
+"""CC-layer overhead guard: the Reno policy split must stay free.
+
+Acceptance contract for the mechanism/policy split: with the default
+``cc="reno"`` (the configuration every fig12–15 reproduction runs),
+delegating window decisions through the :class:`CongestionControl` object
+must cost nothing measurable over the historical monolithic sender whose
+Reno arithmetic was inlined into the ACK path.  Two-fold, mirroring
+``test_steer_overhead``:
+
+1. **No allocation**: ``tracemalloc`` sees no per-ACK retained allocations
+   from ``repro/cc/`` files while the sender processes a steady ACK clock
+   (no tracer installed).  A fixed handful of live scalars — the current
+   ``cwnd``/``srtt`` ints the policy holds — is allowed; growth with the
+   ACK count is not.
+2. **≤ 10% runtime**: best-of-interleaved-rounds of the delegating sender
+   lands within 10% of a hand-inlined replica that runs the same mechanism
+   code with the Reno window arithmetic spliced directly into
+   ``_on_new_ack`` (the pre-split shape).
+"""
+
+import time
+import tracemalloc
+
+from conftest import show
+
+from repro.net import FiveTuple, MSS, Packet
+from repro.sim import Engine
+from repro.tcp import TcpConfig
+from repro.tcp.sender import TcpSender
+
+FLOW = FiveTuple(1, 2, 4000, 80)
+N_ACKS = 30_000
+#: Advertised window: caps the sender at a steady one-MSS-out-per-MSS-acked
+#: clock so every ACK exercises window arithmetic + burst emission.
+WINDOW = 64 * MSS
+
+
+class TxSink:
+    """Host stub: swallows transmissions, counts packets."""
+
+    def __init__(self):
+        self.packets = 0
+
+    def register_handler(self, flow, handler):
+        pass
+
+    def unregister_handler(self, flow):
+        pass
+
+    def transmit(self, packet):
+        self.packets += 1
+
+
+class InlinedRenoSender(TcpSender):
+    """The pre-split monolith: Reno window arithmetic inlined into the
+    ACK path, no policy object consulted anywhere the drive touches."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._i_cwnd = self.config.init_cwnd
+        self._i_ssthresh = 1 << 62
+        self._i_window_acked = 0
+        self._i_window_end = 0
+
+    def _usable_window(self):
+        window = min(self._i_cwnd, self.peer_rwnd)
+        return self.snd_una + window - self.snd_nxt
+
+    def _pacing_rate(self):
+        return self.pacing_gbps
+
+    def _on_new_ack(self, ack):
+        acked = ack - self.snd_una
+        self.snd_una = ack
+        if ack > self.snd_nxt:
+            self.snd_nxt = ack
+        self.dup_acks = 0
+        self._rto_backoff = 1
+        self._sample_rtt(ack)
+        self.sacked = [(s, e) for s, e in self.sacked if e > ack]
+        if self.high_rexmit < ack:
+            self.high_rexmit = ack
+        if self.in_recovery:
+            if ack >= self.recover:
+                self.in_recovery = False
+                self._i_cwnd = self._i_ssthresh
+            else:
+                self._sack_retransmit()
+        elif self._i_cwnd < self._i_ssthresh:
+            self._i_cwnd += acked
+        else:
+            self._i_cwnd += max(1, MSS * acked // self._i_cwnd)
+        # The DCTCP window bookkeeping the old sender always ran (ecn
+        # defaults on; no marks arrive in this drive).
+        self._i_window_acked += acked
+        if ack >= self._i_window_end:
+            self._i_window_acked = 0
+            self._i_window_end = self.snd_nxt
+        if self.flight_size > 0:
+            self._arm_rto()
+        else:
+            self._rto_timer.cancel()
+
+
+def ack_stream():
+    rflow = FLOW.reversed()
+    return [Packet(rflow, 0, 0, ack=(i + 1) * MSS) for i in range(N_ACKS)]
+
+
+def make_sender(cls):
+    sender = cls(Engine(), TxSink(), FLOW, TcpConfig(rx_buffer=WINDOW))
+    sender.send((N_ACKS + 128) * MSS)
+    return sender
+
+
+def drive(cls, acks):
+    sender = make_sender(cls)
+    on_ack = sender._on_ack
+    for packet in acks:
+        on_ack(packet)
+    return sender
+
+
+def _time(cls, acks):
+    start = time.perf_counter()
+    drive(cls, acks)
+    return time.perf_counter() - start
+
+
+def test_reno_ack_path_retains_nothing_in_repro_cc():
+    acks = ack_stream()
+    sender = make_sender(TcpSender)
+    for packet in acks[:2000]:  # warm: leave slow start, settle steady state
+        sender._on_ack(packet)
+    tracemalloc.start()
+    try:
+        before = tracemalloc.take_snapshot()
+        for packet in acks[2000:]:
+            sender._on_ack(packet)
+        after = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    assert sender.snd_una == N_ACKS * MSS
+    retained = sum(
+        stat.size_diff for stat in after.compare_to(before, "filename")
+        if "repro/cc/" in stat.traceback[0].filename.replace("\\", "/")
+        and stat.size_diff > 0
+    )
+    # 28k ACKs processed under trace: anything per-ACK would retain
+    # megabytes.  The allowance covers the policy's live scalars (the
+    # current cwnd/alpha values), which are replaced, not accumulated.
+    assert retained <= 512, (
+        f"Reno ack path retained {retained} bytes in repro.cc")
+
+
+def test_reno_policy_indirection_under_10pct(benchmark):
+    acks = ack_stream()
+    rounds = 7
+    policy_times, inlined_times = [], []
+    drive(TcpSender, acks)  # warm caches before timing
+    drive(InlinedRenoSender, acks)
+    for _ in range(rounds):  # interleave to share any machine noise
+        policy_times.append(_time(TcpSender, acks))
+        inlined_times.append(_time(InlinedRenoSender, acks))
+    best_policy = min(policy_times)
+    best_inlined = min(inlined_times)
+
+    sender = benchmark.pedantic(drive, args=(TcpSender, acks),
+                                rounds=1, iterations=1)
+    reference = drive(InlinedRenoSender, acks)
+    # Both paths run the identical window trajectory packet-for-packet.
+    assert sender.snd_una == reference.snd_una == N_ACKS * MSS
+    assert sender.cwnd == reference._i_cwnd
+    assert sender._host.packets == reference._host.packets
+
+    ratio = best_policy / best_inlined
+    show("Microbench — CC policy indirection on the Reno ACK path",
+         f"  policy object: {N_ACKS / best_policy / 1e3:.0f} kacks/s;  "
+         f"hand-inlined: {N_ACKS / best_inlined / 1e3:.0f} kacks/s  "
+         f"(best of {rounds} interleaved rounds)\n"
+         f"  delegation ratio: {ratio:.3f}x  (bound: 1.10x)")
+    assert ratio <= 1.10, (
+        f"RenoCC delegation costs {100 * (ratio - 1):.1f}% "
+        f"over the inlined ack path")

@@ -89,6 +89,7 @@ PACKAGE_POLICIES: Dict[str, Policy] = {
     "sim": STRICT,
     "core": STRICT,
     "tcp": STRICT,
+    "cc": STRICT,
     "nic": STRICT,
     "fabric": STRICT,
     "qos": STRICT,

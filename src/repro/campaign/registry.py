@@ -304,6 +304,14 @@ ADAPTERS: Dict[str, Adapter] = {a.name: a for a in [
                             ("churn", "churn_levels"),
                             ("engine", "engines")],
                       point_cls="FdirPoint", result_cls="FdirResult"),
+    HiddenGridAdapter("cc_reordering", f"{_E}.cc_reordering",
+                      "congestion control x reordering intensity x GRO "
+                      "engine (see 'juggler-repro cc sweep')",
+                      "CcParams",
+                      axes=[("cc", "ccs"),
+                            ("intensity", "intensities"),
+                            ("engine", "engines")],
+                      point_cls="CcPoint", result_cls="CcResult"),
     HiddenGridAdapter("faults_matrix", "repro.faults.experiments",
                       "resilience matrix: fault kind x intensity x GRO "
                       "engine (see 'juggler-repro faults matrix')",

@@ -1,0 +1,124 @@
+"""``juggler-repro cc`` — the congestion-control × reordering sweep.
+
+::
+
+    juggler-repro cc sweep                             # full family
+    juggler-repro cc sweep --ccs reno,bbr --intensities 0,3 \\
+        --gros juggler,standard --jobs 4 \\
+        --store cc.jsonl --json out.json
+
+``sweep`` routes the ``cc_reordering`` family (congestion control ×
+reordering intensity × GRO engine) through the campaign scheduler —
+parallel and resumable: re-running with the same ``--store`` skips
+completed cells.  See docs/transport.md for the policies and the column
+vocabulary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.experiments.cc_reordering import CcParams
+
+
+def _csv(text: str, cast=str) -> list:
+    return [cast(part.strip()) for part in text.split(",") if part.strip()]
+
+
+def cmd_sweep(argv) -> int:
+    """The cc_reordering sweep, via the campaign scheduler."""
+    import tempfile
+
+    from repro.campaign import (
+        CampaignSpec,
+        ExperimentSpec,
+        ResultStore,
+        SchedulerConfig,
+        expand,
+        render_report,
+        run_campaign,
+    )
+
+    defaults = CcParams()
+    parser = argparse.ArgumentParser(
+        prog="juggler-repro cc sweep",
+        description="Sweep congestion control x reordering intensity x GRO "
+                    "engine; parallel and resumable via repro.campaign.",
+    )
+    parser.add_argument("--ccs", default=",".join(defaults.ccs),
+                        help="comma-separated congestion controls "
+                             "(reno, cubic, dctcp, bbr)")
+    parser.add_argument("--intensities",
+                        default=",".join(map(str, defaults.intensities)),
+                        help="comma-separated reordering intensities (0..3)")
+    parser.add_argument("--gros", default=",".join(defaults.engines),
+                        help="comma-separated GRO engines "
+                             "(juggler, standard, presto)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="campaign root seed (default: the experiment's "
+                             "baked-in seed)")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="result JSONL; reuse to resume (default: temp)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a JSON summary here")
+    args = parser.parse_args(argv)
+
+    grid = {
+        "cc": _csv(args.ccs),
+        "intensity": _csv(args.intensities, int),
+        "engine": _csv(args.gros),
+    }
+    spec = CampaignSpec(
+        name="cc-reordering",
+        experiments=(ExperimentSpec("cc_reordering", grid=grid),),
+        seed=args.seed,
+    )
+    try:
+        tasks = expand(spec)
+    except (KeyError, ValueError) as exc:
+        print(f"bad sweep selection: {exc}", file=sys.stderr)
+        return 2
+
+    store_path = args.store
+    if store_path is None:
+        fd, store_path = tempfile.mkstemp(prefix="juggler_cc_",
+                                          suffix=".jsonl")
+        os.close(fd)
+    store = ResultStore(store_path)
+    print(f"cc reordering sweep: {len(tasks)} cell(s), "
+          f"{args.jobs} worker(s); results -> {store_path}")
+    stats = run_campaign(tasks, store, SchedulerConfig(jobs=max(1, args.jobs)),
+                         progress=print)
+    print(stats.summary_line(spec.name))
+    print()
+    print(render_report(store.load(), spec))
+    if args.json:
+        payload = {
+            "spec": spec.to_dict(),
+            "planned": stats.planned,
+            "skipped": stats.skipped,
+            "failed": stats.failed,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"summary written to {args.json}")
+    return 0 if stats.failed == 0 else 1
+
+
+def main(argv) -> int:
+    """``juggler-repro cc`` dispatcher."""
+    if argv and argv[0] == "sweep":
+        return cmd_sweep(argv[1:])
+    print("usage: juggler-repro cc sweep [options]\n"
+          "  sweep  congestion control x reordering intensity x GRO engine\n"
+          "see docs/transport.md", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

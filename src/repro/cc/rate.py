@@ -1,0 +1,92 @@
+"""Delivery-rate sampling for rate-based senders (BBR's bottleneck-bw input).
+
+A light adaptation of the rate-sample algorithm from the BBR draft
+(``delivery_rate = (delivered_now - delivered_at_send) / elapsed``): at
+each burst emission the sender marks the current cumulative delivered
+count; when the cumulative ACK passes the burst, the sampler computes the
+delivery rate over that flight.  Because the simulator's clock is integer
+nanoseconds and rates are reported in Gb/s, the conversion is exact:
+``bytes * 8 / ns`` *is* Gb/s.
+
+The bandwidth filter is the windowed max over the last ``window`` rounds —
+BBR's max-filter over ~10 round trips — implemented as a monotonic deque.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class DeliveryRateSampler:
+    """Per-flight delivery-rate samples off the cumulative ACK stream."""
+
+    __slots__ = ("delivered", "delivered_time", "_marks", "rate_gbps",
+                 "app_limited")
+
+    def __init__(self) -> None:
+        #: Cumulative bytes delivered (cumulatively ACKed) so far.
+        self.delivered = 0
+        #: Simulation time of the last delivery accounting.
+        self.delivered_time = 0
+        #: end_seq -> (sent_at, delivered_at_send); consumed by ACKs.
+        self._marks: Dict[int, Tuple[int, int]] = {}
+        #: Most recent delivery-rate sample, Gb/s (None before the first).
+        self.rate_gbps: Optional[float] = None
+        #: True when the latest sample was taken while the sender had no
+        #: more data to stream (the sample under-estimates the path).
+        self.app_limited = False
+
+    def on_send(self, end_seq: int, now: int) -> None:
+        """A burst ending at ``end_seq`` left the sender at time ``now``."""
+        if end_seq not in self._marks:
+            self._marks[end_seq] = (now, self.delivered)
+
+    def on_ack(self, ack: int, acked: int, now: int) -> Optional[float]:
+        """A cumulative ACK advanced by ``acked`` bytes; maybe sample.
+
+        Returns the fresh delivery-rate sample in Gb/s, or None when no
+        marked burst was fully covered by this ACK.
+        """
+        self.delivered += acked
+        self.delivered_time = now
+        covered = [end for end in self._marks if end <= ack]
+        if not covered:
+            return None
+        newest = max(covered)
+        sent_at, delivered_at_send = self._marks[newest]
+        for end in covered:
+            del self._marks[end]
+        elapsed = now - sent_at
+        if elapsed <= 0:
+            return None
+        self.rate_gbps = (self.delivered - delivered_at_send) * 8 / elapsed
+        return self.rate_gbps
+
+    def clear_marks(self) -> None:
+        """Drop in-flight marks (RTO rewinds the send pointer)."""
+        self._marks.clear()
+
+
+class WindowedMax:
+    """Max of samples over the last ``window`` abstract ticks (rounds)."""
+
+    __slots__ = ("window", "_samples")
+
+    def __init__(self, window: int):
+        self.window = window
+        #: (tick, value) with values strictly decreasing (monotonic deque).
+        self._samples: List[Tuple[int, float]] = []
+
+    def update(self, value: float, tick: int) -> float:
+        """Absorb ``value`` at ``tick``; return the windowed max."""
+        samples = self._samples
+        while samples and samples[-1][1] <= value:
+            samples.pop()
+        samples.append((tick, value))
+        while samples and samples[0][0] < tick - self.window:
+            samples.pop(0)
+        return samples[0][1]
+
+    def get(self) -> Optional[float]:
+        """The current windowed max, or None before any sample."""
+        return self._samples[0][1] if self._samples else None

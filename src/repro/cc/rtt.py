@@ -1,0 +1,77 @@
+"""The RFC 6298 RTT estimator, shared by every congestion-control policy.
+
+Extracted verbatim from the pre-split ``TcpSender._sample_rtt`` /
+``_rto_value`` arithmetic: integer EWMAs (``srtt = (7*srtt + rtt) // 8``,
+``rttvar = (3*rttvar + |err|) // 4``) and the clamped ``srtt + 4*rttvar``
+RTO with exponential backoff applied by the caller.  Keeping the arithmetic
+integral (floor division, nanoseconds end to end) is what lets the sender
+refactor stay byte-identical: the estimator produces the same values, on
+the same ACKs, as the inlined code did.
+
+Rate-based policies (BBR) additionally need the *latest* raw sample and a
+windowed minimum (RTprop); both live here so every policy reads one clock.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class RttEstimator:
+    """RFC 6298 smoothed RTT / variance, plus BBR's min-RTT window."""
+
+    __slots__ = ("srtt", "rttvar", "latest", "samples", "_min_window")
+
+    def __init__(self) -> None:
+        #: Smoothed RTT in ns; None until the first sample.
+        self.srtt: Optional[int] = None
+        #: RTT variance in ns (0 until the first sample).
+        self.rttvar = 0
+        #: Most recent raw sample in ns; None until the first sample.
+        self.latest: Optional[int] = None
+        #: Total samples absorbed.
+        self.samples = 0
+        #: (taken_at, rtt) pairs backing :meth:`min_rtt`, pruned lazily.
+        self._min_window: List[Tuple[int, int]] = []
+
+    def sample(self, rtt: int, now: int = 0) -> None:
+        """Absorb one RTT measurement taken at simulation time ``now``."""
+        self.latest = rtt
+        self.samples += 1
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt // 2
+        else:
+            err = abs(rtt - self.srtt)
+            self.rttvar = (3 * self.rttvar + err) // 4
+            self.srtt = (7 * self.srtt + rtt) // 8
+        # Maintain a monotonic deque of candidate minima for min_rtt().
+        window = self._min_window
+        while window and window[-1][1] >= rtt:
+            window.pop()
+        window.append((now, rtt))
+
+    def min_rtt(self, now: int, horizon: int) -> Optional[int]:
+        """The smallest sample seen within the last ``horizon`` ns."""
+        window = self._min_window
+        while window and window[0][0] < now - horizon:
+            window.pop(0)
+        if not window:
+            return self.latest
+        return window[0][1]
+
+    def rto(self, *, min_rto: int, max_rto: int, initial_rtt: int,
+            backoff: int = 1) -> int:
+        """The retransmission timeout, clamped and backed off.
+
+        Mirrors the historical ``TcpSender._rto_value``: before any sample
+        the base is ``2 * initial_rtt``; afterwards ``srtt + 4*rttvar``;
+        the base clamps to [min_rto, max_rto] *before* the backoff
+        multiplier, and the product clamps to max_rto again.
+        """
+        if self.srtt is None:
+            base = 2 * initial_rtt
+        else:
+            base = self.srtt + 4 * self.rttvar
+        base = max(min_rto, min(base, max_rto))
+        return min(base * backoff, max_rto)

@@ -14,6 +14,7 @@
     juggler-repro faults run --plan chaos.json   # one fault plan, one report
     juggler-repro faults matrix --jobs 4         # resilience matrix sweep
     juggler-repro steer sweep --jobs 4           # self-inflicted reordering
+    juggler-repro cc sweep --jobs 4              # congestion control x reordering
     juggler-repro campaign run --spec sweep.json --store out.jsonl --jobs 4
     juggler-repro campaign resume --spec sweep.json --store out.jsonl
     juggler-repro campaign report --store out.jsonl --json summary.json
@@ -168,6 +169,10 @@ def main(argv=None) -> int:
         from repro.steer.cli import main as steer_main
 
         return steer_main(argv[1:])
+    if argv and argv[0] == "cc":
+        from repro.cc.cli import main as cc_main
+
+        return cc_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="juggler-repro",
         description="Run reproduced experiments from the Juggler paper "
@@ -206,6 +211,8 @@ def main(argv=None) -> int:
               "and the resilience matrix (see docs/faults.md)")
         print("run 'juggler-repro steer sweep' for the steering / "
               "self-inflicted reordering family (see docs/steering.md)")
+        print("run 'juggler-repro cc sweep' for the congestion-control / "
+              "reordering family (see docs/transport.md)")
         return 0
 
     names = (list(EXPERIMENTS) if args.experiments == ["all"]

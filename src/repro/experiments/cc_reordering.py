@@ -1,0 +1,201 @@
+"""Congestion control × reordering intensity × GRO engine.
+
+The paper's protocol-side damage (§3.1) is *policy-dependent*: reordering
+manufactures duplicate ACKs, and what happens next is entirely up to the
+congestion controller.  Loss-based policies (Reno, CUBIC, DCTCP) treat the
+dupACK burst as loss and collapse the window; a model-based policy (BBR)
+keeps pacing at its measured bottleneck bandwidth and barely notices.
+This family puts the :mod:`repro.cc` policies head to head:
+
+* **cc** — ``reno``, ``cubic``, ``dctcp``, ``bbr`` (``TcpConfig.cc``).
+* **intensity** — how much the fabric reorders: the NetFPGA switch's slow
+  path delay, from 0 (in-order) to 250 µs (well past the 125 µs
+  interrupt-coalescing window, so the reordering reaches the stack).
+* **engine** — which GRO variant absorbs it: Juggler's ofo machinery,
+  standard GRO's give-up-and-flush, or Presto's in-GRO resequencer.
+
+The interesting comparisons are *within* a (cc, intensity) pair across
+engines — how much of the policy's damage Juggler undoes — and *within*
+an (intensity, engine) pair across policies — how much of the damage was
+the policy's own fault.  The headline row: at intensity 3 under standard
+GRO, BBR out-delivers Reno; switching Reno to the Juggler engine closes
+the gap, which is the paper's whole argument (fix reordering below the
+transport instead of redesigning the transport).
+
+Determinism mirrors ``repro.faults.experiments``: each cell derives one
+seed from ``(params.seed, intensity)`` — deliberately *not* the cc or the
+engine, so every arm faces byte-identical fabric randomness — and all
+randomness flows through named ``sim.rng`` streams.  Same seed ⇒
+byte-identical rows, whatever the worker count or result store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.campaign.spec import derive_seed
+from repro.core.config import JugglerConfig
+from repro.core.flush import FlushReason
+from repro.experiments.common import gbps, grid_points
+from repro.fabric.topology import build_netfpga_pair
+from repro.faults.experiments import gro_factory
+from repro.harness.reporting import format_table
+from repro.nic.nic import NicConfig
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.time import MS, US
+from repro.tcp.config import TcpConfig
+from repro.tcp.connection import Connection
+
+#: Intensity level -> slow-path reordering delay in µs.  Level 1 hides
+#: inside the 125 µs coalescing window (reordered "for free" in the ring);
+#: level 3 is the paper's 250 µs NetFPGA delay, which no coalescing hides.
+INTENSITY_LEVELS: Dict[int, int] = {0: 0, 1: 20, 2: 60, 3: 250}
+
+
+@dataclass(frozen=True)
+class CcParams:
+    """Sweep configuration."""
+
+    ccs: tuple = ("reno", "cubic", "dctcp", "bbr")
+    intensities: tuple = (0, 3)
+    engines: tuple = ("juggler", "standard")
+    rate_gbps: float = 10.0
+    #: Concurrent bulk flows (each streams until the cell ends).
+    flow_count: int = 4
+    rx_buffer: int = 8 << 20
+    inseq_timeout_us: int = 52
+    ofo_timeout_us: int = 300
+    coalesce_us: int = 125
+    duration_ms: int = 30
+    warmup_ms: int = 6
+    seed: int = 101
+
+
+@dataclass
+class CcPoint:
+    """One (cc, intensity, engine) cell."""
+
+    cc: str
+    intensity: int
+    engine: str
+    goodput_gbps: float
+    #: Wire packets carrying retransmitted data.
+    retx_packets: int
+    #: Fast-recovery episodes entered (spurious under pure reordering).
+    recoveries: int
+    #: Retransmissions proven unnecessary by DSACKs.
+    spurious_rexmits: int
+    rtos: int
+    #: dupACKs the receivers generated back at the senders.
+    dupacks: int
+    #: Out-of-order segments seen by the TCP receivers.
+    tcp_ooo_segments: int
+    ofo_timeout_flushes: int
+    #: Final smoothed RTT across flows, µs (max; queue-buildup indicator).
+    srtt_us: float
+
+
+@dataclass
+class CcResult:
+    """All cells."""
+
+    points: List[CcPoint] = field(default_factory=list)
+
+
+#: Sweep axes in loop-nesting order: (point field, params grid field).
+POINT_AXES = (("cc", "ccs"),
+              ("intensity", "intensities"),
+              ("engine", "engines"))
+
+
+def run_point(params: CcParams, *, cc: str, intensity: int,
+              engine: str) -> CcPoint:
+    """One grid cell, independently schedulable (see repro.campaign)."""
+    if intensity not in INTENSITY_LEVELS:
+        raise ValueError(f"unknown intensity {intensity!r}; "
+                         f"known: {sorted(INTENSITY_LEVELS)}")
+    # The seed excludes cc and engine: paired arms, identical randomness.
+    cell_seed = derive_seed(params.seed, "cc_reordering", f"{intensity}")
+    sim = Engine()
+    rng = RngRegistry(cell_seed)
+    config = JugglerConfig(
+        inseq_timeout=params.inseq_timeout_us * US,
+        ofo_timeout=params.ofo_timeout_us * US,
+    )
+    bed = build_netfpga_pair(
+        sim,
+        rng.stream("fabric"),
+        gro_factory(engine, config),
+        rate_gbps=params.rate_gbps,
+        reorder_delay_ns=INTENSITY_LEVELS[intensity] * US,
+        nic_config=NicConfig(coalesce_ns=params.coalesce_us * US),
+    )
+    tcp = TcpConfig(cc=cc, rx_buffer=params.rx_buffer)
+    conns = [
+        Connection(sim, bed.sender, bed.receiver, 1_000 + i, 80, tcp)
+        for i in range(params.flow_count)
+    ]
+    stagger = rng.stream("workload")
+    for conn in conns:
+        # Staggered starts desynchronise slow starts; the draw order is
+        # fixed, so every arm staggers identically.
+        sim.schedule(stagger.randrange(200_000), conn.send, 1 << 38)
+
+    warmup_ns = params.warmup_ms * MS
+    stop_ns = params.duration_ms * MS
+    sim.run_until(warmup_ns)
+    delivered_at_warmup = sum(c.delivered_bytes for c in conns)
+    retx_at_warmup = sum(c.sender.retransmitted_packets for c in conns)
+    recov_at_warmup = sum(c.sender.fast_retransmits for c in conns)
+    sim.run_until(stop_ns)
+
+    delivered = sum(c.delivered_bytes for c in conns) - delivered_at_warmup
+    ofo_flushes = 0
+    for gro in bed.receiver.gro_engines:
+        ofo_flushes += gro.stats.flush_reasons.get(FlushReason.OFO_TIMEOUT, 0)
+    srtts = [c.sender.srtt for c in conns if c.sender.srtt is not None]
+    return CcPoint(
+        cc=cc,
+        intensity=intensity,
+        engine=engine,
+        goodput_gbps=round(gbps(delivered, stop_ns - warmup_ns), 4),
+        retx_packets=(sum(c.sender.retransmitted_packets for c in conns)
+                      - retx_at_warmup),
+        recoveries=(sum(c.sender.fast_retransmits for c in conns)
+                    - recov_at_warmup),
+        spurious_rexmits=sum(c.sender.spurious_rexmits for c in conns),
+        rtos=sum(c.sender.rtos for c in conns),
+        dupacks=sum(c.sender.dupacks_received for c in conns),
+        tcp_ooo_segments=sum(c.receiver.ooo_segments for c in conns),
+        ofo_timeout_flushes=ofo_flushes,
+        srtt_us=round(max(srtts) / US, 1) if srtts else 0.0,
+    )
+
+
+def run(params: CcParams = CcParams()) -> CcResult:
+    """Full sweep."""
+    return CcResult(points=[
+        run_point(params, **point)
+        for point in grid_points(POINT_AXES, params)
+    ])
+
+
+def render(result: CcResult) -> str:
+    """The family as one table."""
+    rows = [
+        (p.cc, p.intensity, p.engine, round(p.goodput_gbps, 3),
+         p.retx_packets, p.recoveries, p.spurious_rexmits, p.rtos,
+         p.dupacks, p.tcp_ooo_segments, p.ofo_timeout_flushes, p.srtt_us)
+        for p in result.points
+    ]
+    return format_table(
+        ["cc", "intensity", "engine", "goodput_gbps", "retx", "recov",
+         "spurious", "rtos", "dupacks", "tcp_ooo", "ofo_flush", "srtt_us"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -14,6 +14,8 @@ import tracemalloc
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.cc import make_cc
+from repro.cc.rtt import RttEstimator
 from repro.core.config import JugglerConfig
 from repro.core.juggler import JugglerGRO
 from repro.core.standard_gro import StandardGRO
@@ -22,6 +24,7 @@ from repro.perf import workloads
 from repro.sim.engine import Engine
 from repro.sim.timer import Timer
 from repro.steer import FlowDirectorConfig, FlowDirectorSteering, RssSteering
+from repro.tcp.config import TcpConfig
 
 
 @dataclass(frozen=True)
@@ -158,6 +161,30 @@ def _bench_flow_director_churn() -> tuple:
     return items, elapsed
 
 
+# -- congestion-control benches -----------------------------------------------
+
+_CC_ACKS = 200_000
+_BBR_ROUNDS = 100_000
+
+
+def _bench_cc_reno_ack_path() -> tuple:
+    cc = make_cc("reno", TcpConfig(), RttEstimator())
+
+    def work() -> int:
+        workloads.cc_ack_clock(cc, _CC_ACKS)
+        return _CC_ACKS
+    return _timed_rate(work)
+
+
+def _bench_cc_bbr_steady_state() -> tuple:
+    cc = make_cc("bbr", TcpConfig(cc="bbr"), RttEstimator())
+
+    def work() -> int:
+        workloads.bbr_steady_clock(cc, _BBR_ROUNDS)
+        return _BBR_ROUNDS
+    return _timed_rate(work)
+
+
 # -- allocation bench ---------------------------------------------------------
 
 
@@ -226,6 +253,14 @@ BENCHES: Dict[str, BenchSpec] = {
             _bench_flow_director_churn,
             "Flow Director lookups under periodic rebalance churn "
             "(installs + migrations + signature evictions)"),
+        BenchSpec(
+            "cc.reno_ack_path", "acks/s", True,
+            _bench_cc_reno_ack_path,
+            "RenoCC on_ack clock with periodic fast-retransmit episodes"),
+        BenchSpec(
+            "cc.bbr_steady_state", "acks/s", True,
+            _bench_cc_bbr_steady_state,
+            "BBRv1 full model update per ACK at a steady 10 Gb/s pipe"),
         BenchSpec(
             "alloc.gro_drive_peak_kb", "KiB", False,
             _bench_alloc_gro_drive,

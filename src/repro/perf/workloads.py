@@ -101,6 +101,60 @@ def steering_lookup_churn(policy, flows: List[FiveTuple], lookups: int,
     return acc
 
 
+def cc_ack_clock(cc, n_acks: int, *, rtt_ns: int = 100_000) -> int:
+    """The congestion-control ACK clock: one ``on_ack`` per cumulative ACK.
+
+    A steady two-MSS-per-ACK clock with a fast-retransmit episode every
+    8192 ACKs, so the policy keeps exercising its recovery entry/exit
+    arithmetic instead of growing its window without bound.  Returns a
+    cwnd checksum so the loop cannot be optimised away.
+    """
+    cc.rtt.sample(rtt_ns, 0)
+    now = 0
+    ack = 0
+    acc = 0
+    step = rtt_ns // 32
+    flight = 64 * MSS
+    on_ack = cc.on_ack
+    for i in range(n_acks):
+        now += step
+        ack += 2 * MSS
+        on_ack(2 * MSS, now, ack=ack, snd_nxt=ack + flight, flight=flight,
+               in_recovery=False, recovery_exit=False)
+        if (i + 1) % 8192 == 0:
+            cc.on_recovery_start(flight, now)
+            ack += MSS
+            on_ack(MSS, now, ack=ack, snd_nxt=ack + flight, flight=flight,
+                   in_recovery=False, recovery_exit=True)
+            acc += cc.cwnd
+    return acc + cc.cwnd
+
+
+def bbr_steady_clock(cc, n_rounds: int, *, rtt_ns: int = 100_000,
+                     bw_gbps: float = 10.0) -> int:
+    """BBR's steady-state pipe: send one flight, ACK it one RTT later.
+
+    Every round runs the full model update — delivery-rate sample, bw
+    filter, RTprop tracking, the state machine and the cwnd/pacing
+    computation — at a constant bottleneck rate, which is the per-ACK
+    cost a BBR flow pays forever once out of startup.
+    """
+    flight = int(bw_gbps * rtt_ns / 8)
+    now = 0
+    seq = 0
+    sample = cc.rtt.sample
+    on_send = cc.on_send
+    on_ack = cc.on_ack
+    for _ in range(n_rounds):
+        seq += flight
+        on_send(seq, flight, now)
+        now += rtt_ns
+        sample(rtt_ns, now)
+        on_ack(flight, now, ack=seq, snd_nxt=seq, flight=flight,
+               in_recovery=False, recovery_exit=False)
+    return cc.cwnd
+
+
 def engine_event_churn(engine_cls, n_events: int) -> int:
     """Schedule/fire churn through the event engine.
 

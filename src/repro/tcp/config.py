@@ -43,6 +43,10 @@ class TcpConfig:
     dctcp_g: float = 1.0 / 16.0
     #: Initial RTT estimate before any sample (seeds the RTO).
     initial_rtt: int = 200 * US
+    #: Congestion-control policy (see repro.cc): "reno" (the default,
+    #: byte-identical to the historical monolithic sender), "cubic",
+    #: "dctcp" or "bbr".
+    cc: str = "reno"
 
     def __post_init__(self) -> None:
         if self.init_cwnd < MSS:
@@ -57,3 +61,10 @@ class TcpConfig:
             )
         if self.max_burst < MSS:
             raise ValueError(f"max_burst must be >= one MSS, got {self.max_burst}")
+        # Mirrors repro.cc.CC_ALGORITHMS (kept literal: repro.tcp must not
+        # import repro.cc at config time).
+        if self.cc not in ("reno", "cubic", "dctcp", "bbr"):
+            raise ValueError(
+                f"unknown congestion control {self.cc!r}; "
+                "choose from ['bbr', 'cubic', 'dctcp', 'reno']"
+            )

@@ -1,23 +1,31 @@
-"""The TCP send side: Reno congestion control over TSO bursts.
+"""The TCP send side: the loss-recovery *mechanism* under a pluggable policy.
 
 The sender transmits data in TSO bursts (up to 64 KB handed to the NIC at
 once), which is both how real stacks amortise per-packet cost and the origin
 of the traffic burstiness Juggler's eviction policy exploits (§4.3).  It
-implements slow start, congestion avoidance, 3-dupACK fast retransmit with
-NewReno partial-ACK handling, and an RTO with exponential backoff — enough
-for reordering-induced duplicate ACKs to do exactly the damage the paper
-describes for the vanilla kernel.
+owns everything congestion control does *not* decide — sequence state, the
+SACK scoreboard with NewReno partial-ACK handling, reordering adaptation,
+the RTO timer with exponential backoff, burst emission and pacing
+enforcement — and delegates every window/rate decision to a
+:class:`~repro.cc.base.CongestionControl` policy selected by
+``TcpConfig.cc`` (the split mirrors the kernel's ``tcp_congestion_ops``).
+With the default ``cc="reno"`` the composition reproduces the historical
+monolithic sender byte-for-byte: reordering-induced duplicate ACKs do
+exactly the damage the paper describes for the vanilla kernel.
 
 An optional ``priority_fn`` assigns each outgoing packet a network priority;
 the bandwidth-guarantee controller (§2.1) plugs in there.  An optional
 pacing rate reproduces the experiments that "rate limit the total
-throughput" (§5.1.1).
+throughput" (§5.1.1); rate-based policies (BBR) feed the same pacing loop,
+enforced by timer-wheel wakeups between bursts.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+from repro.cc import make_cc
+from repro.cc.rtt import RttEstimator
 from repro.fabric.host import Host
 from repro.net.addr import FiveTuple
 from repro.net.constants import MSS, PRIORITY_LOW
@@ -27,13 +35,14 @@ from repro.net.tso import segment_tso_burst
 from repro.sim.engine import Engine
 from repro.sim.timer import Timer
 from repro.tcp.config import TcpConfig
+from repro.trace import runtime as trace_runtime
 
 #: Returns the priority for one outgoing packet.
 PriorityFn = Callable[[Packet], int]
 
 
 class TcpSender:
-    """One flow's transmit side."""
+    """One flow's transmit side (mechanism; policy in ``self.cc``)."""
 
     def __init__(
         self,
@@ -63,9 +72,7 @@ class TcpSender:
         #: Application bytes enqueued for transmission so far.
         self.data_target = 0
 
-        # Congestion control.
-        self.cwnd = self.config.init_cwnd
-        self.ssthresh = 1 << 62
+        # Loss-detection state (mechanism side of congestion control).
         self.dup_acks = 0
         self.in_recovery = False
         self.recover = 0
@@ -82,18 +89,16 @@ class TcpSender:
         self.reordering_threshold = self.config.dupack_threshold
         self.dsacks_received = 0
 
-        # DCTCP state: congestion-extent EWMA and the per-window counters.
-        self.dctcp_alpha = 0.0
-        self._window_acked = 0
-        self._window_ce = 0
-        self._window_end = 0
-
-        # RTT estimation / RTO.
-        self.srtt: Optional[int] = None
-        self.rttvar = 0
+        # RTT estimation / RTO (the estimator is shared with the policy).
+        self.rtt = RttEstimator()
         self._rto_backoff = 1
         self._rto_timer = Timer(engine, self._on_rto)
         self._send_times: Dict[int, int] = {}
+
+        # The congestion-control policy (window/rate decisions).
+        self.tracer = trace_runtime.current()
+        self.cc = make_cc(self.config.cc, self.config, self.rtt,
+                          tracer=self.tracer, flow=flow)
 
         # Pacing.
         self._next_send_at = 0
@@ -107,6 +112,69 @@ class TcpSender:
         self.rtos = 0
         self.acks_received = 0
         self.dupacks_received = 0
+
+        if self.tracer is not None:
+            metrics = self.tracer.metrics
+            self._m_retransmits = metrics.counter("tcp.retransmits")
+            self._m_recoveries = metrics.counter("tcp.recoveries")
+            self._m_spurious = metrics.counter("tcp.spurious_rexmits")
+            prefix = f"cc.flow{self.tracer.component_index('cc')}"
+            cc = self.cc
+            metrics.gauge(f"{prefix}.cwnd", lambda: cc.cwnd)
+            metrics.gauge(f"{prefix}.ssthresh", lambda: cc.ssthresh)
+            metrics.gauge(f"{prefix}.pacing_gbps",
+                          lambda: cc.pacing_rate_gbps() or 0.0)
+            metrics.gauge(f"{prefix}.delivery_gbps",
+                          lambda: cc.delivery_rate_gbps() or 0.0)
+            metrics.gauge(f"{prefix}.recoveries", lambda: cc.recoveries)
+        else:
+            self._m_retransmits = None
+            self._m_recoveries = None
+            self._m_spurious = None
+
+    # -- policy delegation ------------------------------------------------------
+
+    @property
+    def cwnd(self) -> int:
+        """The policy's congestion window, bytes."""
+        return self.cc.cwnd
+
+    @cwnd.setter
+    def cwnd(self, value: int) -> None:
+        self.cc.cwnd = value
+
+    @property
+    def ssthresh(self) -> int:
+        """The policy's slow-start threshold, bytes."""
+        return self.cc.ssthresh
+
+    @ssthresh.setter
+    def ssthresh(self, value: int) -> None:
+        self.cc.ssthresh = value
+
+    @property
+    def dctcp_alpha(self) -> float:
+        """The policy's DCTCP congestion-extent estimate (0.0 if N/A)."""
+        return getattr(self.cc, "dctcp_alpha", 0.0)
+
+    @dctcp_alpha.setter
+    def dctcp_alpha(self, value: float) -> None:
+        self.cc.dctcp_alpha = value
+
+    @property
+    def srtt(self) -> Optional[int]:
+        """Smoothed RTT from the shared estimator (ns; None pre-sample)."""
+        return self.rtt.srtt
+
+    @property
+    def rttvar(self) -> int:
+        """RTT variance from the shared estimator (ns)."""
+        return self.rtt.rttvar
+
+    @property
+    def spurious_rexmits(self) -> int:
+        """Retransmissions proven unnecessary (one per DSACK received)."""
+        return self.dsacks_received
 
     # -- application interface --------------------------------------------------
 
@@ -146,15 +214,20 @@ class TcpSender:
         before = self._sacked_bytes()
         for block in packet.sack:
             self._merge_sack(block[0], block[1])
-        new_sack_info = self._sacked_bytes() > before
+        sacked_now = self._sacked_bytes()
+        new_sack_info = sacked_now > before
         if packet.sack and packet.sack[0][1] <= self.snd_una:
             # Leading block below snd_una is a DSACK: our retransmission was
             # unnecessary — the "loss" was reordering.  Widen tolerance.
             self.dsacks_received += 1
             self.reordering_threshold = min(
                 self.reordering_threshold + 1, self.config.max_reordering)
-        if self.config.ecn and packet.ce_bytes:
-            self._window_ce += packet.ce_bytes
+            if self._m_spurious is not None:
+                self._m_spurious.inc()
+        if packet.ce_bytes:
+            self.cc.on_ce(packet.ce_bytes)
+        if new_sack_info:
+            self.cc.on_sack(sacked_now, self._engine.now)
         ack = packet.ack
         if ack > self.high_sent:
             # Acknowledges data we never sent: malformed or stale — ignore
@@ -183,19 +256,18 @@ class TcpSender:
         self.sacked = [(s, e) for s, e in self.sacked if e > ack]
         if self.high_rexmit < ack:
             self.high_rexmit = ack
+        recovery_exit = False
         if self.in_recovery:
             if ack >= self.recover:
                 self.in_recovery = False
-                self.cwnd = self.ssthresh
+                recovery_exit = True
             else:
                 # Partial ACK: keep filling the scoreboard's holes.
                 self._sack_retransmit()
-        elif self.cwnd < self.ssthresh:
-            self.cwnd += acked  # slow start
-        else:
-            self.cwnd += max(1, MSS * acked // self.cwnd)  # congestion avoidance
-        if self.config.ecn:
-            self._dctcp_window_update(acked, ack)
+        self.cc.on_ack(acked, self._engine.now, ack=ack,
+                       snd_nxt=self.snd_nxt, flight=self.flight_size,
+                       in_recovery=self.in_recovery,
+                       recovery_exit=recovery_exit)
         if self.flight_size > 0:
             self._arm_rto()
         else:
@@ -225,39 +297,27 @@ class TcpSender:
         if triggered and not self.in_recovery:
             # Fast retransmit: this is TCP "treating mis-sequenced packets
             # as a signal of packet loss" — spurious under reordering.
-            self.ssthresh = max(self.flight_size // 2, 2 * MSS)
-            self.cwnd = self.ssthresh + 3 * MSS
             self.in_recovery = True
             self.recover = self.snd_nxt
             self.high_rexmit = self.snd_una
             self.fast_retransmits += 1
+            self.cc.on_recovery_start(self.flight_size, self._engine.now)
+            if self._m_recoveries is not None:
+                self._m_recoveries.inc()
+            if self.tracer is not None:
+                self.tracer.cc_recovery(self._engine.now, self.flow,
+                                        self.cc.name, "fast_retransmit",
+                                        self.cc.cwnd, self.cc.ssthresh)
             if self.sacked:
                 self._sack_retransmit()
             else:
                 # Classic (SACK-less) fast retransmit of the first segment.
                 self._retransmit(self.snd_una, MSS)
         elif self.in_recovery:
-            self.cwnd += MSS  # window inflation keeps the pipe full
+            self.cc.on_dupack(self.dup_acks, in_recovery=True)
             self._sack_retransmit()
-
-    def _dctcp_window_update(self, acked: int, ack: int) -> None:
-        """DCTCP: once per window, estimate the marked fraction and shrink
-        cwnd proportionally (cwnd ← cwnd·(1 − α/2))."""
-        self._window_acked += acked
-        if ack < self._window_end:
-            return
-        if self._window_acked > 0:
-            fraction = min(1.0, self._window_ce / self._window_acked)
-            g = self.config.dctcp_g
-            self.dctcp_alpha += g * (fraction - self.dctcp_alpha)
-            if self._window_ce > 0:
-                reduced = int(self.cwnd * (1.0 - self.dctcp_alpha / 2.0))
-                self.cwnd = max(2 * MSS, reduced)
-                # Marking ends slow start: converge via gentle reductions.
-                self.ssthresh = min(self.ssthresh, self.cwnd)
-        self._window_acked = 0
-        self._window_ce = 0
-        self._window_end = self.snd_nxt
+        else:
+            self.cc.on_dupack(self.dup_acks, in_recovery=False)
 
     def _merge_sack(self, start: int, end: int) -> None:
         """Fold one SACK block into the scoreboard (disjoint, sorted)."""
@@ -297,7 +357,7 @@ class TcpSender:
         # The conservative pipe estimate cannot distinguish lost bytes from
         # in-flight ones, so guarantee NewReno-grade progress: at least one
         # MSS of retransmission per ACK processed during recovery.
-        budget = max(self.cwnd - pipe, MSS)
+        budget = max(self.cc.cwnd - pipe, MSS)
         pos = max(self.high_rexmit, self.snd_una)
         limit = min(self.recover, self.snd_nxt, self.sacked[-1][1])
         blocks = iter(self.sacked)
@@ -328,25 +388,27 @@ class TcpSender:
             del self._send_times[end]
         if sent_at is None:
             return
-        rtt = self._engine.now - sent_at
-        if self.srtt is None:
-            self.srtt = rtt
-            self.rttvar = rtt // 2
-        else:
-            err = abs(rtt - self.srtt)
-            self.rttvar = (3 * self.rttvar + err) // 4
-            self.srtt = (7 * self.srtt + rtt) // 8
+        now = self._engine.now
+        self.rtt.sample(now - sent_at, now)
 
     # -- transmission --------------------------------------------------------------
 
     def _usable_window(self) -> int:
-        window = min(self.cwnd, self.peer_rwnd)
+        window = min(self.cc.cwnd, self.peer_rwnd)
         return self.snd_una + window - self.snd_nxt
+
+    def _pacing_rate(self) -> Optional[float]:
+        """Static rate limit if configured, else the policy's pacing rate."""
+        rate = self.pacing_gbps
+        if rate is not None:
+            return rate
+        return self.cc.pacing_rate_gbps()
 
     def _try_send(self) -> None:
         now = self._engine.now
         while self.snd_nxt < self.data_target:
-            if self.pacing_gbps is not None and now < self._next_send_at:
+            rate = self._pacing_rate()
+            if rate is not None and now < self._next_send_at:
                 self._schedule_wakeup(self._next_send_at)
                 return
             avail = self._usable_window()
@@ -357,8 +419,10 @@ class TcpSender:
             self._emit_burst(self.snd_nxt, burst, push=(burst == remaining))
             self.snd_nxt += burst
             self._send_times[self.snd_nxt] = now
-            if self.pacing_gbps is not None:
-                tx_ns = round(burst * 8 / self.pacing_gbps)
+            self.cc.on_send(self.snd_nxt, burst, now,
+                            app_limited=self.snd_nxt >= self.data_target)
+            if rate is not None:
+                tx_ns = round(burst * 8 / rate)
                 self._next_send_at = max(now, self._next_send_at) + tx_ns
 
     def _schedule_wakeup(self, at: int) -> None:
@@ -394,6 +458,8 @@ class TcpSender:
             self.high_sent = seq + nbytes
         if retransmission:
             self.retransmitted_packets += len(packets)
+            if self._m_retransmits is not None:
+                self._m_retransmits.inc(len(packets))
         self._arm_rto(only_if_unarmed=True)
 
     def _retransmit(self, seq: int, nbytes: int) -> None:
@@ -407,12 +473,10 @@ class TcpSender:
     # -- RTO --------------------------------------------------------------------
 
     def _rto_value(self) -> int:
-        if self.srtt is None:
-            base = 2 * self.config.initial_rtt
-        else:
-            base = self.srtt + 4 * self.rttvar
-        base = max(self.config.min_rto, min(base, self.config.max_rto))
-        return min(base * self._rto_backoff, self.config.max_rto)
+        return self.rtt.rto(min_rto=self.config.min_rto,
+                            max_rto=self.config.max_rto,
+                            initial_rtt=self.config.initial_rtt,
+                            backoff=self._rto_backoff)
 
     def _arm_rto(self, only_if_unarmed: bool = False) -> None:
         if only_if_unarmed and self._rto_timer.armed:
@@ -423,8 +487,11 @@ class TcpSender:
         if self.flight_size <= 0:
             return
         self.rtos += 1
-        self.ssthresh = max(self.flight_size // 2, 2 * MSS)
-        self.cwnd = MSS
+        self.cc.on_rto(self.flight_size, self._engine.now)
+        if self.tracer is not None:
+            self.tracer.cc_recovery(self._engine.now, self.flow,
+                                    self.cc.name, "rto",
+                                    self.cc.cwnd, self.cc.ssthresh)
         self.in_recovery = False
         self.dup_acks = 0
         self._rto_backoff = min(self._rto_backoff * 2, 64)

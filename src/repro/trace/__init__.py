@@ -19,6 +19,8 @@ algorithm, and tracing stays importable from every layer.
 """
 
 from repro.trace.events import (
+    CcRecovery,
+    CcStateChange,
     EventKind,
     Eviction,
     Flush,
@@ -61,6 +63,8 @@ __all__ = [
     "TcpDelivery",
     "SteerMigration",
     "SteerRebalance",
+    "CcStateChange",
+    "CcRecovery",
     "Counter",
     "Gauge",
     "HistogramMetric",

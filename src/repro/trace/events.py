@@ -42,6 +42,10 @@ class EventKind(enum.Enum):
     STEER_MIGRATION = "steer_migration"
     #: The steering policy rebalanced its affinity assignment.
     STEER_REBALANCE = "steer_rebalance"
+    #: A congestion-control policy changed state (see repro.cc).
+    CC_STATE = "cc_state"
+    #: The sender entered loss recovery (fast retransmit or RTO).
+    CC_RECOVERY = "cc_recovery"
 
 
 def _plain(value: Any) -> Any:
@@ -194,3 +198,38 @@ class SteerRebalance(TraceEvent):
 
     groups_moved: int
     flushed: bool
+
+
+@dataclass(frozen=True, slots=True)
+class CcStateChange(TraceEvent):
+    """A congestion-control policy's state machine transitioned.
+
+    Emitted by policies with real state machines (BBR's startup → drain →
+    probe_bw → probe_rtt); window-based policies transition between
+    slow_start and cong_avoid implicitly and stay silent.
+    """
+
+    kind: ClassVar[EventKind] = EventKind.CC_STATE
+
+    flow: Any
+    algo: str
+    old_state: str
+    new_state: str
+    cwnd: int
+    pacing_gbps: Optional[float]
+
+
+@dataclass(frozen=True, slots=True)
+class CcRecovery(TraceEvent):
+    """The sender entered recovery; ``trigger`` is fast_retransmit or rto.
+
+    ``cwnd``/``ssthresh`` are the *post-reaction* values — what the policy
+    answered to the loss signal (for BBR, deliberately unmoved)."""
+
+    kind: ClassVar[EventKind] = EventKind.CC_RECOVERY
+
+    flow: Any
+    algo: str
+    trigger: str
+    cwnd: int
+    ssthresh: int

@@ -25,6 +25,8 @@ from collections import Counter as TallyCounter
 from typing import Dict, Iterable, Optional, Set
 
 from repro.trace.events import (
+    CcRecovery,
+    CcStateChange,
     EventKind,
     Eviction,
     FaultCleared,
@@ -179,3 +181,18 @@ class Tracer:
         """The steering policy rebalanced its affinity assignment."""
         if self.wants(EventKind.STEER_REBALANCE):
             self.emit(SteerRebalance(self._stamp(now), groups_moved, flushed))
+
+    def cc_state(self, now: int, flow, algo: str, old_state: str,
+                 new_state: str, cwnd: int,
+                 pacing_gbps: Optional[float]) -> None:
+        """A congestion-control policy's state machine transitioned."""
+        if self.wants(EventKind.CC_STATE):
+            self.emit(CcStateChange(self._stamp(now), flow, algo, old_state,
+                                    new_state, cwnd, pacing_gbps))
+
+    def cc_recovery(self, now: int, flow, algo: str, trigger: str,
+                    cwnd: int, ssthresh: int) -> None:
+        """The sender entered loss recovery (fast retransmit or RTO)."""
+        if self.wants(EventKind.CC_RECOVERY):
+            self.emit(CcRecovery(self._stamp(now), flow, algo, trigger,
+                                 cwnd, ssthresh))

@@ -1,0 +1,231 @@
+"""Unit tests for the congestion-control policies (hook-level)."""
+
+import pytest
+
+from repro.cc import CC_ALGORITHMS, BbrV1CC, CubicCC, DctcpCC, RenoCC, make_cc
+from repro.cc.bbr import MIN_CWND, PROBE_BW_GAINS, STARTUP_GAIN
+from repro.cc.rtt import RttEstimator
+from repro.net import MSS
+from repro.sim import MS, US
+from repro.tcp import TcpConfig
+
+
+def policy(name, config=None):
+    config = config or TcpConfig(cc=name)
+    return make_cc(name, config, RttEstimator())
+
+
+def ack_kw(**overrides):
+    kw = dict(ack=0, snd_nxt=0, flight=0, in_recovery=False,
+              recovery_exit=False)
+    kw.update(overrides)
+    return kw
+
+
+# -- factory -------------------------------------------------------------------
+
+def test_factory_covers_all_registered_names():
+    assert sorted(CC_ALGORITHMS) == ["bbr", "cubic", "dctcp", "reno"]
+    for name, cls in CC_ALGORITHMS.items():
+        assert isinstance(policy(name), cls)
+        assert cls.name == name
+
+
+def test_factory_rejects_unknown_name():
+    with pytest.raises(ValueError, match="unknown congestion control"):
+        make_cc("vegas", TcpConfig(), RttEstimator())
+
+
+def test_config_rejects_unknown_cc():
+    with pytest.raises(ValueError, match="unknown congestion control"):
+        TcpConfig(cc="vegas")
+
+
+# -- Reno (the historical default, extracted verbatim) -------------------------
+
+def test_reno_slow_start_grows_by_acked_bytes():
+    cc = policy("reno")
+    start = cc.cwnd
+    cc.on_ack(3 * MSS, 0, **ack_kw())
+    assert cc.cwnd == start + 3 * MSS
+    assert cc.state() == "slow_start"
+
+
+def test_reno_congestion_avoidance_grows_one_mss_per_window():
+    cc = policy("reno")
+    cc.ssthresh = cc.cwnd  # leave slow start
+    start = cc.cwnd
+    cc.on_ack(2 * MSS, 0, **ack_kw())
+    assert cc.cwnd == start + max(1, MSS * 2 * MSS // start)
+    assert cc.state() == "cong_avoid"
+
+
+def test_reno_recovery_entry_halves_flight_plus_three():
+    cc = policy("reno")
+    cc.on_recovery_start(20 * MSS, 0)
+    assert cc.ssthresh == 10 * MSS
+    assert cc.cwnd == 13 * MSS
+    assert cc.recoveries == 1
+
+
+def test_reno_dupack_inflation_only_inside_recovery():
+    cc = policy("reno")
+    start = cc.cwnd
+    cc.on_dupack(1, in_recovery=False)
+    assert cc.cwnd == start
+    cc.on_dupack(2, in_recovery=True)
+    assert cc.cwnd == start + MSS
+
+
+def test_reno_recovery_exit_deflates_to_ssthresh():
+    cc = policy("reno")
+    cc.on_recovery_start(20 * MSS, 0)
+    cc.on_ack(MSS, 0, **ack_kw(recovery_exit=True))
+    assert cc.cwnd == cc.ssthresh
+
+
+def test_reno_rto_collapses_to_one_mss():
+    cc = policy("reno")
+    cc.on_rto(20 * MSS, 0)
+    assert cc.cwnd == MSS
+    assert cc.ssthresh == 10 * MSS
+
+
+def test_reno_dctcp_reaction_gated_on_config_ecn():
+    on = policy("reno", TcpConfig(ecn=True))
+    off = policy("reno", TcpConfig(ecn=False))
+    for cc in (on, off):
+        cc.ssthresh = cc.cwnd  # window updates visible immediately
+        cc.on_ce(5 * MSS)
+        cc.on_ack(10 * MSS, 0, **ack_kw(ack=10 * MSS, snd_nxt=10 * MSS))
+    assert on.dctcp_alpha > 0.0
+    assert off.dctcp_alpha == 0.0
+
+
+# -- DCTCP ---------------------------------------------------------------------
+
+def test_dctcp_is_always_on_with_rfc8257_alpha_init():
+    cc = policy("dctcp", TcpConfig(ecn=False, cc="dctcp"))
+    assert isinstance(cc, RenoCC)
+    assert cc.dctcp_alpha == 1.0
+    cc.on_ce(2 * MSS)  # reacts despite config.ecn=False
+    before = cc.cwnd
+    cc.on_ack(4 * MSS, 0, **ack_kw(ack=4 * MSS, snd_nxt=4 * MSS))
+    assert cc.cwnd < before + 4 * MSS  # the mark cut into the window
+
+
+# -- CUBIC ---------------------------------------------------------------------
+
+def test_cubic_beta_reduction_and_fast_convergence():
+    cc = policy("cubic")
+    cc.cwnd = 100 * MSS
+    cc.on_recovery_start(100 * MSS, 0)
+    assert cc.ssthresh == int(100 * MSS * 0.7)
+    assert cc.cwnd == cc.ssthresh
+    assert cc.w_max == pytest.approx(100.0)
+    # A second loss below the plateau releases capacity (fast convergence).
+    cc.on_recovery_start(cc.cwnd, 0)
+    assert cc.w_max == pytest.approx(70 * (2 - 0.7) / 2)
+
+
+def test_cubic_grows_toward_wmax_then_probes_beyond():
+    cc = policy("cubic")
+    rtt = cc.rtt
+    rtt.sample(100 * US)
+    cc.cwnd = 100 * MSS
+    cc.on_recovery_start(100 * MSS, 0)
+    cc.on_ack(MSS, 0, **ack_kw(recovery_exit=True))
+    start = cc.cwnd
+    now = 0
+    for _ in range(1500):
+        now += 100 * US
+        cc.on_ack(10 * MSS, now, **ack_kw())
+    # Concave recovery climbs back to the plateau, then convex probing
+    # pushes beyond it.
+    assert cc.cwnd > start
+    assert cc.cwnd / MSS > 100.0
+
+
+def test_cubic_rto_resets_epoch():
+    cc = policy("cubic")
+    cc.cwnd = 50 * MSS
+    cc.on_rto(50 * MSS, 0)
+    assert cc.cwnd == MSS
+    assert cc._epoch_start is None
+
+
+# -- BBRv1 ---------------------------------------------------------------------
+
+def drive_bbr(cc, *, rounds, rtt_ns=100 * US, bw_gbps=10.0, start_ns=0):
+    """Feed a steady pipe: each round sends one flight, ACKed one RTT later."""
+    now = start_ns
+    seq = cc._round_end_seq
+    flight = int(bw_gbps * rtt_ns / 8) or MSS
+    for _ in range(rounds):
+        seq += flight
+        cc.on_send(seq, flight, now)
+        now += rtt_ns
+        cc.rtt.sample(rtt_ns, now)
+        cc.on_ack(flight, now, **ack_kw(ack=seq, snd_nxt=seq,
+                                        flight=flight))
+    return now, seq
+
+
+def test_bbr_startup_fills_then_drains_then_probes():
+    cc = policy("bbr")
+    assert cc.state() == "startup"
+    assert cc.pacing_gain == STARTUP_GAIN
+    now, _ = drive_bbr(cc, rounds=8)
+    # Constant delivery rate -> the bw filter plateaus -> full pipe.
+    assert cc.filled_pipe
+    assert cc.state() in ("drain", "probe_bw")
+    # Drain exits once flight <= BDP; our driver keeps flight == BDP.
+    drive_bbr(cc, rounds=2, start_ns=now)
+    assert cc.state() == "probe_bw"
+    assert cc.pacing_gain in PROBE_BW_GAINS
+
+
+def test_bbr_models_the_bottleneck_bandwidth():
+    cc = policy("bbr")
+    drive_bbr(cc, rounds=10, bw_gbps=10.0)
+    assert cc.pacing_rate_gbps() == pytest.approx(
+        10.0 * cc.pacing_gain, rel=0.05)
+    assert cc.delivery_rate_gbps() == pytest.approx(10.0, rel=0.05)
+    bdp = cc.bdp_bytes()
+    assert bdp == pytest.approx(10.0 * (100 * US) / 8, rel=0.05)
+
+
+def test_bbr_ignores_recovery_but_collapses_on_rto():
+    cc = policy("bbr")
+    drive_bbr(cc, rounds=10)
+    before = cc.cwnd
+    cc.on_recovery_start(before, 0)
+    assert cc.cwnd == before          # dupACKs do not move the model
+    assert cc.ssthresh == 1 << 62     # never engaged
+    assert cc.recoveries == 1
+    cc.on_rto(before, 0)
+    assert cc.cwnd == MSS             # genuine silence does
+    assert not cc.sampler._marks
+
+
+def test_bbr_cwnd_tracks_gain_times_bdp():
+    cc = policy("bbr")
+    now, _ = drive_bbr(cc, rounds=12)
+    target = cc.bdp_bytes(cc.cwnd_gain)
+    assert cc.cwnd <= max(target, MIN_CWND)
+    assert cc.cwnd >= MIN_CWND
+
+
+def test_bbr_emits_cc_state_transitions_when_traced():
+    from repro.trace import EventKind, RingBufferSink, Tracer
+
+    sink = RingBufferSink()
+    tracer = Tracer([sink])
+    cc = BbrV1CC(TcpConfig(cc="bbr"), RttEstimator(), tracer=tracer,
+                 flow="f")
+    drive_bbr(cc, rounds=12)
+    kinds = [e.kind for e in sink.events]
+    assert EventKind.CC_STATE in kinds
+    transitions = [(e.old_state, e.new_state) for e in sink.events
+                   if e.kind is EventKind.CC_STATE]
+    assert ("startup", "drain") in transitions
