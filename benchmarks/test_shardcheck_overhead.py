@@ -1,0 +1,139 @@
+"""OSAN overhead guard: disabled ownership hooks must stay free.
+
+Acceptance contract for the shard ownership sanitizer (docs/shardcheck.md):
+with OSAN uninstalled, every hook it added to the receive path — the
+poll/hrtimer domain scoping in :class:`RxQueue`, the admission/transition
+checks in :class:`GroTable`, the drain-time transfers in :class:`Nic` —
+degrades to one attribute load and one identity test.  Two-fold, mirroring
+``test_steer_overhead``:
+
+1. **No allocation**: ``tracemalloc`` sees zero allocations from
+   ``repro/analysis/`` files while a multi-queue NIC digests a poll-driven
+   packet stream end to end (enqueue, interrupts, GRO admissions, drain) —
+   the disabled hooks run on every one of those operations.
+2. **≤ 10% runtime**: best-of-interleaved-rounds of ``Nic.receive`` under
+   plain RSS (instrumented queues) lands within 10% of a hand-inlined
+   ``queues[flow.rss_hash() % n].enqueue`` loop — the same bound the
+   steering layer is held to, re-pinned with the ownership hooks in place.
+"""
+
+import time
+import tracemalloc
+
+import pytest
+from conftest import show
+
+from repro.analysis import runtime
+from repro.core import JugglerConfig, JugglerGRO, StandardGRO
+from repro.net import FiveTuple, MSS, Packet
+from repro.nic import Nic, NicConfig
+from repro.sim import Engine
+
+N = 40_000
+FLOWS = 64
+QUEUES = 8
+
+
+@pytest.fixture(autouse=True)
+def _osan_uninstalled():
+    """Measure the disabled hooks even when the suite runs JUGGLER_OSAN=1."""
+    runtime.uninstall_osan()
+    yield
+    runtime.reset()
+
+
+def packet_stream():
+    flows = [FiveTuple(1 + (i % 16), 99, 5000 + i, 80) for i in range(FLOWS)]
+    return [Packet(flows[i % FLOWS], (i // FLOWS) * MSS, MSS)
+            for i in range(N)]
+
+
+def make_nic(engine=None):
+    engine = engine if engine is not None else Engine()
+    # Huge ring + time-only coalescing: nothing fires mid-run, so the
+    # timing loop measures pure demux + enqueue (with the OSAN hook slots
+    # present on every queue).
+    return Nic(engine, lambda s: None, lambda d: StandardGRO(d),
+               NicConfig(num_queues=QUEUES, ring_size=N + 1,
+                         coalesce_ns=10 ** 12))
+
+
+def drive_policy(packets):
+    nic = make_nic()
+    receive = nic.receive
+    for packet in packets:
+        receive(packet)
+    return nic
+
+
+def drive_inlined(packets):
+    """The pre-steering NIC demux, hand-inlined over the same queues."""
+    nic = make_nic()
+    queues = nic.queues
+    n = QUEUES
+    for packet in packets:
+        queues[packet.flow.rss_hash() % n].enqueue(packet)
+    return nic
+
+
+def _time(fn, packets):
+    start = time.perf_counter()
+    fn(packets)
+    return time.perf_counter() - start
+
+
+def test_disabled_osan_allocates_nothing_end_to_end():
+    """Polls, GRO admissions and drain all run their (dark) OSAN hooks."""
+    engine = Engine()
+    nic = Nic(engine, lambda s: None,
+              lambda d: JugglerGRO(d, JugglerConfig(table_capacity=FLOWS)),
+              NicConfig(num_queues=QUEUES, ring_size=N + 1,
+                        coalesce_ns=10_000))
+    packets = packet_stream()
+    receive = nic.receive
+    tracemalloc.start()
+    try:
+        before = tracemalloc.take_snapshot()
+        for start in range(0, N, 4_000):
+            for packet in packets[start:start + 4_000]:
+                receive(packet)
+            engine.run_until(engine.now + 50_000)  # interrupts + hrtimers
+        nic.drain()
+        after = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    assert sum(q.delivered for q in nic.queues) == N
+    osan_allocs = [
+        stat for stat in after.compare_to(before, "filename")
+        if "repro/analysis/" in stat.traceback[0].filename.replace("\\", "/")
+        and stat.size_diff > 0
+    ]
+    assert osan_allocs == [], (
+        f"disabled OSAN hooks allocated in repro.analysis: {osan_allocs}")
+
+
+def test_instrumented_demux_overhead_under_10pct(benchmark):
+    packets = packet_stream()
+    rounds = 7
+    policy_times, inlined_times = [], []
+    drive_policy(packets)  # warm caches before timing
+    drive_inlined(packets)
+    for _ in range(rounds):  # interleave to share any machine noise
+        policy_times.append(_time(drive_policy, packets))
+        inlined_times.append(_time(drive_inlined, packets))
+    best_policy = min(policy_times)
+    best_inlined = min(inlined_times)
+
+    nic = benchmark.pedantic(drive_policy, args=(packets,),
+                             rounds=1, iterations=1)
+    assert sum(q.backlog for q in nic.queues) == N
+
+    ratio = best_policy / best_inlined
+    show("Microbench — RSS demux with OSAN hooks present but disabled",
+         f"  policy object: {N / best_policy / 1e3:.0f} kpps;  "
+         f"hand-inlined: {N / best_inlined / 1e3:.0f} kpps  "
+         f"(best of {rounds} interleaved rounds)\n"
+         f"  instrumented ratio: {ratio:.3f}x  (bound: 1.10x)")
+    assert ratio <= 1.10, (
+        f"disabled OSAN hooks cost {100 * (ratio - 1):.1f}% "
+        f"over inline demux")

@@ -14,7 +14,12 @@ bans the ways that contract silently breaks:
 * **mutable-default** — ``def f(x=[])``;
 * **set-iteration** — iterating an unordered set into results;
 * **float-ns** — float arithmetic landing in integer-nanosecond
-  timestamp variables.
+  timestamp variables;
+* **id-ordering** — ``id()``-based keys or ordering: CPython object
+  addresses differ run to run, so any ``dict`` keyed (or list sorted)
+  by ``id(obj)`` iterates in an unreproducible order;
+* **unordered-pop** — ``dict.popitem()`` and argument-less ``set.pop()``
+  remove an *arbitrary* element.
 
 Which rules apply where is decided by :mod:`repro.analysis.policy`; any
 single finding can be waived with a justified ``det: allow`` comment
@@ -29,13 +34,17 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 from repro.analysis.policy import (
+    ALL_RULES,
     BAD_PRAGMA,
     FLOAT_NS,
     GLOBAL_RANDOM,
+    ID_ORDERING,
     MUTABLE_DEFAULT,
     Policy,
     RAW_RNG,
     SET_ITERATION,
+    SHARD_RULES,
+    UNORDERED_POP,
     WALL_CLOCK,
     module_exemptions,
     parse_pragmas,
@@ -96,6 +105,11 @@ class _Visitor(ast.NodeVisitor):
         #: end of the pass against whether the module name was ever used.
         self.random_import_lines: List[int] = []
         self.random_name_uses = 0
+        #: names ever bound to a set display / set() / frozenset(), and
+        #: argument-less ``.pop()`` sites on plain names — resolved at the
+        #: end of the pass so assignment order does not matter.
+        self.set_like_names: set = set()
+        self.bare_pop_sites: List[ast.Call] = []
 
     # -- helpers -------------------------------------------------------------
 
@@ -178,6 +192,24 @@ class _Visitor(ast.NodeVisitor):
                 self._flag(node, GLOBAL_RANDOM,
                            f"{dotted}() draws from the hidden global "
                            "stream; use repro.sim.rng")
+        if (isinstance(node.func, ast.Name) and node.func.id == "id"
+                and node.args):
+            self._flag(node, ID_ORDERING,
+                       "id() yields a per-run object address; key or order "
+                       "by a stable field or index instead")
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr == "popitem" and not node.args:
+                self._flag(node, UNORDERED_POP,
+                           ".popitem() removes an arbitrary entry; pop a "
+                           "deterministic key (or next(iter(...)) after "
+                           "sorting)")
+            elif node.func.attr == "pop" and not node.args:
+                if self._is_unordered_set(node.func.value):
+                    self._flag(node, UNORDERED_POP,
+                               "set.pop() removes an arbitrary element; "
+                               "sort first or pop a known value")
+                elif isinstance(node.func.value, ast.Name):
+                    self.bare_pop_sites.append(node)
         if (isinstance(node.func, ast.Name)
                 and node.func.id in _ORDER_SENSITIVE_CONSUMERS
                 and node.args and self._is_unordered_set(node.args[0])):
@@ -282,6 +314,10 @@ class _Visitor(ast.NodeVisitor):
             self._flag(node, FLOAT_NS,
                        f"float arithmetic assigned to ns timestamp "
                        f"'{names[0]}'; use //, int() or round()")
+        if self._is_unordered_set(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.set_like_names.add(target.id)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
@@ -306,6 +342,55 @@ class _Visitor(ast.NodeVisitor):
                 self._flag(node, GLOBAL_RANDOM,
                            "import random is unused; drop it (streams come "
                            "from repro.sim.rng)")
+        for call in self.bare_pop_sites:
+            receiver = call.func.value  # type: ignore[attr-defined]
+            if (isinstance(receiver, ast.Name)
+                    and receiver.id in self.set_like_names):
+                self._flag(call, UNORDERED_POP,
+                           f"{receiver.id}.pop() on a set removes an "
+                           "arbitrary element; sort first or pop a known "
+                           "value")
+
+
+#: Valid rule names a pragma may reference — determinism *and* shard
+#: rules, so a ``det: allow(shard-*)`` pragma in a file both passes scan
+#: is not misreported as unknown by the determinism pass.
+RULE_NAMES = ALL_RULES | SHARD_RULES
+
+
+def apply_pragmas(raw_findings: List[Finding], source: str, path: str,
+                  *, report_unknown: bool = True) -> List[Finding]:
+    """Resolve ``det: allow`` pragmas against a raw finding list.
+
+    A pragma on the finding's line (or the line above) naming the same
+    rule waives it — but only with a justification after ``--``; a bare
+    pragma becomes a ``bad-pragma`` finding itself.  With
+    ``report_unknown`` (the determinism pass only, so two passes over the
+    same file don't double-report), pragmas naming rules outside
+    :data:`RULE_NAMES` are also flagged.  Returns findings sorted by
+    location.
+    """
+    pragmas = parse_pragmas(source)
+    findings: List[Finding] = []
+    for finding in raw_findings:
+        pragma = pragmas.get(finding.line) or pragmas.get(finding.line - 1)
+        if pragma is not None and pragma.rule == finding.rule:
+            if pragma.justification:
+                continue  # waived, with a reason on record
+            findings.append(Finding(
+                path, pragma.line, 0, BAD_PRAGMA,
+                f"pragma waives [{pragma.rule}] but gives no justification "
+                "after '--'"))
+            continue
+        findings.append(finding)
+    if report_unknown:
+        for pragma in pragmas.values():
+            if pragma.rule not in RULE_NAMES:
+                findings.append(Finding(
+                    path, pragma.line, 0, BAD_PRAGMA,
+                    f"pragma names unknown rule '{pragma.rule}'"))
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
 
 
 def lint_source(source: str, path: str,
@@ -321,34 +406,7 @@ def lint_source(source: str, path: str,
     visitor = _Visitor(path, policy, module_exemptions(path))
     visitor.visit(tree)
     visitor.finish()
-
-    pragmas = parse_pragmas(source)
-    findings: List[Finding] = []
-    used_pragmas = set()
-    for finding in visitor.findings:
-        pragma = pragmas.get(finding.line) or pragmas.get(finding.line - 1)
-        if pragma is not None and pragma.rule == finding.rule:
-            used_pragmas.add(pragma.line)
-            if pragma.justification:
-                continue  # waived, with a reason on record
-            findings.append(Finding(
-                path, pragma.line, 0, BAD_PRAGMA,
-                f"pragma waives [{pragma.rule}] but gives no justification "
-                "after '--'"))
-            continue
-        findings.append(finding)
-    for pragma in pragmas.values():
-        if pragma.rule not in RULE_NAMES:
-            findings.append(Finding(
-                path, pragma.line, 0, BAD_PRAGMA,
-                f"pragma names unknown rule '{pragma.rule}'"))
-    findings.sort(key=lambda f: (f.line, f.col, f.rule))
-    return findings
-
-
-#: Valid rule names a pragma may reference.
-RULE_NAMES = frozenset({WALL_CLOCK, GLOBAL_RANDOM, RAW_RNG, MUTABLE_DEFAULT,
-                        SET_ITERATION, FLOAT_NS})
+    return apply_pragmas(visitor.findings, source, path)
 
 
 def lint_file(path: str, policy: Optional[Policy] = None) -> List[Finding]:

@@ -1,0 +1,167 @@
+"""OSAN — the shard ownership sanitizer.
+
+The static escape pass (:mod:`repro.analysis.shardcheck`) proves no
+*code shape* leaks state across shards; OSAN proves no *object* does at
+runtime, the way ThreadSanitizer would if the per-core engines were real
+threads.  Each :class:`~repro.steer.coreset.RxCore` registers an
+ownership :class:`Domain`; the structures on its packet path
+(:class:`~repro.nic.rxqueue.RxQueue`,
+:class:`~repro.core.gro_table.GroTable`,
+:class:`~repro.core.flow_entry.FlowEntry`,
+:class:`~repro.core.ofo_queue.OfoQueue`) carry an ``owner_domain`` tag
+assigned at bind time, and the instrumented entry points verify
+*accessor domain == owner domain* on every admission, transition,
+eviction and poll.
+
+Ownership may change hands only at the documented rendezvous points
+(:data:`RENDEZVOUS_POINTS`):
+
+* ``nic.drain`` — the end-of-run reconciliation barrier, where the NIC
+  collapses per-core state back into totals;
+* ``steer.migration`` — a steering-table rule moving a flow between
+  queues (Flow Director's ATR path).  Migration re-routes *future*
+  packets; the flow state already resident on the old core stays there
+  until its entry dies, which is exactly why Flow Director reorders —
+  OSAN records the migration so the PoC can audit it.
+
+Code running under no domain (test setup, the simulation engine's timer
+loop, the TCP endpoints above ``deliver()``) is *ambient* and may touch
+anything: the contract polices cross-shard access, not supervision.
+Enable with ``JUGGLER_OSAN=1`` (the JSAN pattern — see
+:mod:`repro.analysis.runtime`); disabled hooks cost one attribute load
+and one identity test, pinned by ``benchmarks/test_shardcheck_overhead``.
+The full contract lives in ``docs/shardcheck.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+
+class OwnershipError(AssertionError):
+    """An object was touched from outside its owner domain."""
+
+
+#: The only places ownership may legally change hands.
+RENDEZVOUS_POINTS = frozenset({"nic.drain", "steer.migration"})
+
+
+class Domain:
+    """One shard's ownership domain (normally one per :class:`RxCore`)."""
+
+    __slots__ = ("ident", "name")
+
+    def __init__(self, ident: int, name: str):
+        self.ident = ident
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Domain({self.ident}, {self.name!r})"
+
+
+class OwnershipSanitizer:
+    """Tracks domains, the accessor stack, and legal transfers."""
+
+    __slots__ = ("domains", "checks_run", "transfers",
+                 "migrations_recorded", "_stack", "tracer")
+
+    def __init__(self):
+        self.domains: List[Domain] = []
+        self.checks_run = 0
+        self.transfers = 0
+        self.migrations_recorded = 0
+        self._stack: List[Domain] = []
+        from repro.trace import runtime as trace_runtime
+
+        self.tracer = trace_runtime.current()
+        if self.tracer is not None:
+            metrics = self.tracer.metrics
+            metrics.gauge("shardcheck.domains", lambda: len(self.domains))
+            metrics.gauge("shardcheck.checks", lambda: self.checks_run)
+            metrics.gauge("shardcheck.transfers", lambda: self.transfers)
+            metrics.gauge("shardcheck.migrations",
+                          lambda: self.migrations_recorded)
+
+    # -- domains --------------------------------------------------------------
+
+    def register_domain(self, name: str) -> Domain:
+        """Create the ownership domain for one shard."""
+        domain = Domain(len(self.domains), name)
+        self.domains.append(domain)
+        return domain
+
+    @property
+    def current(self) -> Optional[Domain]:
+        """The innermost active domain, or None when running ambient."""
+        return self._stack[-1] if self._stack else None
+
+    def enter(self, domain: Optional[Domain]) -> None:
+        """Begin executing as ``domain`` (poll/timer entry).
+
+        ``None`` pushes an explicit ambient frame, so every ``enter`` is
+        paired with exactly one :meth:`exit` regardless of whether the
+        caller's queue was ever claimed.
+        """
+        self._stack.append(domain)
+
+    def exit(self) -> None:
+        """Leave the innermost domain (poll/timer exit)."""
+        self._stack.pop()
+
+    # -- the check ------------------------------------------------------------
+
+    def check(self, obj, op: str) -> None:
+        """Verify the accessor's domain owns ``obj`` (untagged = shared)."""
+        self.checks_run += 1
+        owner = getattr(obj, "owner_domain", None)
+        if owner is None:
+            return
+        accessor = self._stack[-1] if self._stack else None
+        if accessor is None or accessor is owner:
+            return
+        raise OwnershipError(
+            f"OSAN: cross-domain access\n"
+            f"  operation: {op} on {type(obj).__name__}\n"
+            f"  owner:     {owner.name} (domain {owner.ident})\n"
+            f"  accessor:  {accessor.name} (domain {accessor.ident})\n"
+            f"  {type(obj).__name__} state is private to its shard; "
+            "ownership changes hands only at the rendezvous points "
+            f"({', '.join(sorted(RENDEZVOUS_POINTS))}) — "
+            "see docs/shardcheck.md")
+
+    # -- rendezvous -----------------------------------------------------------
+
+    def transfer(self, obj, new_domain: Optional[Domain], *,
+                 point: str, now: int = 0) -> None:
+        """Move ``obj`` to ``new_domain`` at a documented rendezvous."""
+        if point not in RENDEZVOUS_POINTS:
+            raise OwnershipError(
+                f"OSAN: illegal ownership transfer\n"
+                f"  object: {type(obj).__name__}\n"
+                f"  point:  {point!r} is not a rendezvous point "
+                f"({', '.join(sorted(RENDEZVOUS_POINTS))})\n"
+                "  transfers outside the documented rendezvous are races "
+                "— see docs/shardcheck.md")
+        old = getattr(obj, "owner_domain", None)
+        obj.owner_domain = new_domain
+        self.transfers += 1
+        if self.tracer is not None:
+            self.tracer.ownership_transfer(
+                now, type(obj).__name__,
+                old.name if old is not None else None,
+                new_domain.name if new_domain is not None else None,
+                point)
+
+    def record_migration(self, flow, old_queue: int,
+                         new_queue: int) -> None:
+        """A steering rule re-routed a flow's *future* packets."""
+        self.migrations_recorded += 1
+
+
+def from_env() -> Optional[OwnershipSanitizer]:
+    """Build an OwnershipSanitizer when ``JUGGLER_OSAN`` asks for one."""
+    value = os.environ.get("JUGGLER_OSAN", "")
+    if value.strip().lower() in ("", "0", "false", "off", "no"):
+        return None
+    return OwnershipSanitizer()

@@ -1,0 +1,399 @@
+"""Static shard-isolation escape pass (the ``shard-*`` rules).
+
+The parallel-simulation endgame (ROADMAP item 1) needs one property the
+type system cannot express: every object a per-core receive context
+(:class:`repro.steer.coreset.RxCore`) touches on its packet path is
+*private* to that core.  Flow Director's self-inflicted reordering is
+exactly what happens when that property quietly breaks — flow state
+consulted from two queues at once.  This pass proves the property
+mechanically, the way :mod:`repro.analysis.lint` proves determinism:
+
+* **shard-module-state** — module-level mutable containers (and
+  ``global`` rebinds from functions) in receive-path packages.  Module
+  state is process state; two shards polling concurrently would share
+  it.
+* **shard-closure-capture** — a closure built inside a loop that
+  captures the loop variable freely (late binding: every shard sees the
+  last iteration's value) or captures a mutable container bound outside
+  the loop (one object threaded into every shard).  The safe idiom —
+  ``lambda c=core: ...`` — binds per-iteration values as defaults and is
+  not flagged.
+* **shard-cross-core-arg** — an object rooted in one core's context
+  (``cores[0].gro.table...``) passed into a *different* core's method
+  (``cores[1].table.add(entry)``), including through a local alias.
+* **shard-shared-container** — one pre-existing mutable container handed
+  to several shard constructors in a loop without a per-shard copy.
+
+Which packages are checked is decided by
+:func:`repro.analysis.policy.shard_rules_for` (the receive path:
+``steer``, ``nic``, ``core``, ``trace``); findings are waived with the
+same justified ``det: allow(...)`` pragmas the determinism linter uses.
+The dynamic half of the detector is :mod:`repro.analysis.ownership`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.analysis.lint import Finding, apply_pragmas, iter_python_files
+from repro.analysis.policy import (
+    SHARD_CLOSURE_CAPTURE,
+    SHARD_CROSS_CORE,
+    SHARD_MODULE_STATE,
+    SHARD_SHARED_CONTAINER,
+    shard_rules_for,
+)
+
+#: Constructors whose result is a shared-mutable container.
+_MUTABLE_CONSTRUCTORS = frozenset({
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "OrderedDict", "Counter",
+})
+
+#: Names treated as "the collection of per-core contexts" when they are
+#: the base of a subscript: ``cores[0]``, ``self.queues[i]``...
+_SHARD_COLLECTION_NAMES = frozenset({
+    "cores", "queues", "shards", "rx_cores", "coreset", "engines",
+    "tables",
+})
+
+
+def _is_mutable_container(node: ast.AST) -> bool:
+    """A literal/display or constructor call yielding a mutable container."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id in _MUTABLE_CONSTRUCTORS
+        if isinstance(func, ast.Attribute):
+            return func.attr in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _subscript_root(node: ast.AST) -> Optional[Tuple[str, str]]:
+    """``cores[0].gro.table`` -> ``("cores", <dump of 0>)``, else None.
+
+    Walks the attribute chain down to its base; a subscript of a
+    shard-collection name identifies which core's context the expression
+    is rooted in.  The index is compared structurally (``ast.dump``), so
+    ``cores[i]`` vs ``cores[i]`` agree while ``cores[0]`` vs ``cores[1]``
+    (or vs ``cores[j]``) differ.
+    """
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        if isinstance(base, ast.Name):
+            name = base.id
+        elif isinstance(base, ast.Attribute):
+            name = base.attr
+        else:
+            return None
+        if name in _SHARD_COLLECTION_NAMES:
+            return (name, ast.dump(node.slice))
+    return None
+
+
+def _alias_root(value: ast.AST) -> Optional[Tuple[str, str]]:
+    """Which core's context an assigned value is rooted in, if any.
+
+    Covers both direct aliases (``q = cores[0].queue``) and method-call
+    results (``entry = cores[0].gro.table.pick_victim()``) — an object a
+    core's table hands out still belongs to that core.
+    """
+    root = _subscript_root(value)
+    if root is None and isinstance(value, ast.Call):
+        root = _subscript_root(value.func)
+    return root
+
+
+def _target_names(target: ast.AST) -> FrozenSet[str]:
+    """Every plain name a loop target binds (handles tuple unpacking)."""
+    names = set()
+    for sub in ast.walk(target):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+    return frozenset(names)
+
+
+def _free_names(fn) -> FrozenSet[str]:
+    """Names a nested def/lambda reads from its enclosing scope.
+
+    Over-approximates Python's scoping just enough for the closure rule:
+    arguments, locally assigned names and nested definitions are bound;
+    everything else loaded in the body is free.  Default-parameter
+    expressions are *not* part of the body — they evaluate at definition
+    time in the enclosing scope, which is precisely the safe
+    ``lambda c=core:`` idiom.
+    """
+    args = fn.args
+    bound = {a.arg for a in
+             list(getattr(args, "posonlyargs", [])) + list(args.args)
+             + list(args.kwonlyargs)}
+    if args.vararg is not None:
+        bound.add(args.vararg.arg)
+    if args.kwarg is not None:
+        bound.add(args.kwarg.arg)
+    body = [fn.body] if isinstance(fn, ast.Lambda) else fn.body
+    loads = set()
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Name):
+                if isinstance(sub.ctx, ast.Load):
+                    loads.add(sub.id)
+                else:
+                    bound.add(sub.id)
+            elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                bound.add(sub.name)
+    return frozenset(loads - bound)
+
+
+class _Scope:
+    """Per-function fact tables the rules consult."""
+
+    __slots__ = ("mutable", "aliases")
+
+    def __init__(self):
+        #: name -> line where it was bound to a mutable container
+        #: *outside* any loop in this scope.
+        self.mutable: Dict[str, int] = {}
+        #: name -> (collection, index dump) when assigned from one
+        #: core's context, e.g. ``entry = cores[0].gro.table.pick_...``.
+        self.aliases: Dict[str, Tuple[str, str]] = {}
+
+
+class _Checker:
+    """Single-module shard-isolation checker."""
+
+    def __init__(self, path: str, rules: FrozenSet[str]):
+        self.path = path
+        self.rules = rules
+        self.findings: List[Finding] = []
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        if rule in self.rules:
+            self.findings.append(Finding(
+                self.path, node.lineno, node.col_offset, rule, message))
+
+    # -- module-level state ---------------------------------------------------
+
+    def _module_state(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.If):
+                self._module_state(stmt.body)
+                self._module_state(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                for block in (stmt.body, stmt.orelse, stmt.finalbody):
+                    self._module_state(block)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                           else [stmt.target])
+                value = stmt.value
+                if value is None or not _is_mutable_container(value):
+                    continue
+                names = [t.id for t in targets
+                         if isinstance(t, ast.Name)
+                         and not (t.id.startswith("__")
+                                  and t.id.endswith("__"))]
+                if names:
+                    self._flag(stmt, SHARD_MODULE_STATE,
+                               f"module-level mutable container "
+                               f"'{names[0]}' would be shared by every "
+                               "shard; move it into per-core state or "
+                               "freeze it")
+
+    # -- scope scanning -------------------------------------------------------
+
+    def _scan_scope(self, body: List[ast.stmt]) -> None:
+        self._scan_block(body, _Scope(), 0, frozenset())
+
+    def _scan_block(self, body, scope: _Scope, depth: int,
+                    loop_targets: FrozenSet[str]) -> None:
+        for stmt in body:
+            self._scan_stmt(stmt, scope, depth, loop_targets)
+
+    def _scan_stmt(self, stmt, scope: _Scope, depth: int,
+                   loop_targets: FrozenSet[str]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if depth:
+                self._check_closure(stmt, scope, loop_targets)
+            self._scan_scope(stmt.body)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            self._scan_block(stmt.body, _Scope(), 0, frozenset())
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan_expr(stmt.iter, scope, depth, loop_targets)
+            inner_targets = loop_targets | _target_names(stmt.target)
+            self._scan_block(stmt.body, scope, depth + 1, inner_targets)
+            self._scan_block(stmt.orelse, scope, depth, loop_targets)
+            return
+        if isinstance(stmt, ast.While):
+            self._scan_expr(stmt.test, scope, depth, loop_targets)
+            self._scan_block(stmt.body, scope, depth + 1, loop_targets)
+            self._scan_block(stmt.orelse, scope, depth, loop_targets)
+            return
+        if isinstance(stmt, ast.If):
+            self._scan_expr(stmt.test, scope, depth, loop_targets)
+            self._scan_block(stmt.body, scope, depth, loop_targets)
+            self._scan_block(stmt.orelse, scope, depth, loop_targets)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._scan_expr(item.context_expr, scope, depth,
+                                loop_targets)
+            self._scan_block(stmt.body, scope, depth, loop_targets)
+            return
+        if isinstance(stmt, ast.Try):
+            for block in (stmt.body, stmt.orelse, stmt.finalbody):
+                self._scan_block(block, scope, depth, loop_targets)
+            for handler in stmt.handlers:
+                self._scan_block(handler.body, scope, depth, loop_targets)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._scan_expr(stmt.value, scope, depth, loop_targets)
+            if len(stmt.targets) == 1 and isinstance(stmt.targets[0],
+                                                     ast.Name):
+                name = stmt.targets[0].id
+                if depth == 0 and _is_mutable_container(stmt.value):
+                    scope.mutable[name] = stmt.lineno
+                root = _alias_root(stmt.value)
+                if root is not None:
+                    scope.aliases[name] = root
+                else:
+                    scope.aliases.pop(name, None)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._scan_expr(stmt.value, scope, depth, loop_targets)
+                if isinstance(stmt.target, ast.Name):
+                    name = stmt.target.id
+                    if depth == 0 and _is_mutable_container(stmt.value):
+                        scope.mutable[name] = stmt.lineno
+                    root = _alias_root(stmt.value)
+                    if root is not None:
+                        scope.aliases[name] = root
+                    else:
+                        scope.aliases.pop(name, None)
+            return
+        # everything else (Expr, Return, AugAssign, Raise, Assert, ...):
+        # just scan the expressions it contains.
+        self._scan_expr(stmt, scope, depth, loop_targets)
+
+    def _scan_expr(self, node, scope: _Scope, depth: int,
+                   loop_targets: FrozenSet[str]) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                self._check_call(sub, scope, depth)
+            elif isinstance(sub, ast.Lambda) and depth:
+                self._check_closure(sub, scope, loop_targets)
+
+    # -- the rules ------------------------------------------------------------
+
+    def _expr_root(self, node, scope: _Scope) -> Optional[Tuple[str, str]]:
+        root = _subscript_root(node)
+        if root is not None:
+            return root
+        while isinstance(node, ast.Attribute):
+            node = node.value
+        if isinstance(node, ast.Name):
+            return scope.aliases.get(node.id)
+        return None
+
+    def _check_call(self, call: ast.Call, scope: _Scope,
+                    depth: int) -> None:
+        arguments = list(call.args) + [kw.value for kw in call.keywords]
+        if isinstance(call.func, ast.Attribute):
+            receiver = self._expr_root(call.func, scope)
+            if receiver is not None:
+                for arg in arguments:
+                    origin = self._expr_root(arg, scope)
+                    if (origin is not None and origin[0] == receiver[0]
+                            and origin[1] != receiver[1]):
+                        self._flag(
+                            arg, SHARD_CROSS_CORE,
+                            f"object from one {origin[0]}[...] context "
+                            f"passed into a different {receiver[0]}[...] "
+                            "method — flow state must not straddle "
+                            "shards")
+        if depth:
+            func = call.func
+            callee = (func.id if isinstance(func, ast.Name)
+                      else func.attr if isinstance(func, ast.Attribute)
+                      else None)
+            if callee and callee[:1].isupper():
+                for arg in arguments:
+                    if (isinstance(arg, ast.Name)
+                            and arg.id in scope.mutable):
+                        self._flag(
+                            arg, SHARD_SHARED_CONTAINER,
+                            f"mutable '{arg.id}' handed to {callee}() "
+                            "built per-iteration — every shard would "
+                            "share one container; copy it per shard "
+                            "(dict(...)/list(...))")
+
+    def _check_closure(self, fn, scope: _Scope,
+                       loop_targets: FrozenSet[str]) -> None:
+        free = _free_names(fn)
+        late = sorted(free & loop_targets)
+        kind = "lambda" if isinstance(fn, ast.Lambda) else f"'{fn.name}'"
+        if late:
+            self._flag(fn, SHARD_CLOSURE_CAPTURE,
+                       f"{kind} captures loop variable '{late[0]}' "
+                       "late-bound — every shard sees the last "
+                       "iteration's value; bind it as a default "
+                       "parameter instead")
+        shared = sorted(name for name in free if name in scope.mutable)
+        if shared:
+            self._flag(fn, SHARD_CLOSURE_CAPTURE,
+                       f"{kind} built per-iteration captures mutable "
+                       f"'{shared[0]}' bound outside the loop — one "
+                       "container threaded into every shard; copy per "
+                       "shard or pass per-core state")
+
+
+def check_source(source: str, path: str,
+                 rules: Optional[FrozenSet[str]] = None) -> List[Finding]:
+    """Shard-check one module's source text; findings after pragmas."""
+    if rules is None:
+        rules = shard_rules_for(path)
+    if not rules:
+        return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 0, (exc.offset or 1) - 1,
+                        "syntax-error", f"cannot parse: {exc.msg}")]
+    checker = _Checker(path, rules)
+    checker._module_state(tree.body)
+    for sub in ast.walk(tree):
+        if isinstance(sub, ast.Global):
+            for name in sub.names:
+                checker._flag(sub, SHARD_MODULE_STATE,
+                              f"global '{name}' rebinds module state from "
+                              "a function — shared by every shard; keep "
+                              "state per-core")
+    checker._scan_scope(tree.body)
+    # The determinism pass is the one that reports unknown-rule pragmas;
+    # reporting them here too would double-count files both passes scan.
+    return apply_pragmas(checker.findings, source, path,
+                         report_unknown=False)
+
+
+def check_file(path: str,
+               rules: Optional[FrozenSet[str]] = None) -> List[Finding]:
+    """Shard-check one file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return check_source(handle.read(), path, rules)
+
+
+def check_tree(root: str) -> List[Finding]:
+    """Shard-check every Python file under ``root``."""
+    findings: List[Finding] = []
+    for path in iter_python_files(root):
+        findings.extend(check_file(path))
+    return findings

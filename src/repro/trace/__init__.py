@@ -25,6 +25,7 @@ from repro.trace.events import (
     Eviction,
     Flush,
     Merge,
+    OwnershipTransfer,
     PacketRx,
     PhaseTransition,
     SteerMigration,
@@ -65,6 +66,7 @@ __all__ = [
     "SteerRebalance",
     "CcStateChange",
     "CcRecovery",
+    "OwnershipTransfer",
     "Counter",
     "Gauge",
     "HistogramMetric",

@@ -33,6 +33,7 @@ from repro.trace.events import (
     FaultInjected,
     Flush,
     Merge,
+    OwnershipTransfer,
     PacketRx,
     PhaseTransition,
     SteerMigration,
@@ -181,6 +182,14 @@ class Tracer:
         """The steering policy rebalanced its affinity assignment."""
         if self.wants(EventKind.STEER_REBALANCE):
             self.emit(SteerRebalance(self._stamp(now), groups_moved, flushed))
+
+    def ownership_transfer(self, now: int, obj_kind: str,
+                           old_domain: Optional[str],
+                           new_domain: Optional[str], point: str) -> None:
+        """An object changed shard ownership at a rendezvous point."""
+        if self.wants(EventKind.OWNERSHIP_TRANSFER):
+            self.emit(OwnershipTransfer(self._stamp(now), obj_kind,
+                                        old_domain, new_domain, point))
 
     def cc_state(self, now: int, flow, algo: str, old_state: str,
                  new_state: str, cwnd: int,

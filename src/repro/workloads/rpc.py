@@ -15,7 +15,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
 
 from repro.sim.engine import Engine
 from repro.tcp.connection import Connection
@@ -63,14 +63,14 @@ class RpcWorkload:
         self.mean_interarrival_ns = rpc_bytes * 8 / load_gbps
         self.records: List[RpcRecord] = []
         self.issued = 0
-        self._pending: Dict[int, Deque[Tuple[int, int]]] = {}
-        for conn in connections:
-            self._pending[id(conn)] = deque()
-            conn.receiver.on_bytes = self._make_on_bytes(conn)
+        #: Per-connection in-flight RPCs, indexed by pool position (a
+        #: stable, reproducible key — object ids are not).
+        self._pending: List[Deque[Tuple[int, int]]] = [
+            deque() for _ in connections]
+        for index, conn in enumerate(connections):
+            conn.receiver.on_bytes = self._make_on_bytes(index)
 
-    def _make_on_bytes(self, conn: Connection):
-        key = id(conn)
-
+    def _make_on_bytes(self, key: int):
         def on_bytes(watermark: int, now: int) -> None:
             pending = self._pending[key]
             while pending and pending[0][0] <= watermark:
@@ -90,9 +90,12 @@ class RpcWorkload:
         now = self._engine.now
         if self.stop_at_ns is not None and now >= self.stop_at_ns:
             return
-        conn = self._rng.choice(self._connections)
+        # randrange + index keeps the same _randbelow draw sequence
+        # random.choice would make, so seeded traces stay byte-identical.
+        index = self._rng.randrange(len(self._connections))
+        conn = self._connections[index]
         boundary = conn.sender.data_target + self.rpc_bytes
-        self._pending[id(conn)].append((boundary, now))
+        self._pending[index].append((boundary, now))
         conn.send(self.rpc_bytes)
         self.issued += 1
         self._engine.schedule(self._next_gap(), self._arrival)

@@ -41,3 +41,14 @@ def float_ns_timestamp(now):
 
 def unjustified_pragma():
     return random.choice([1, 2])  # det: allow(global-random)
+
+
+def id_keyed_registry(objs):
+    return {id(obj): obj for obj in objs}
+
+
+def unordered_pops(table):
+    key, value = table.popitem()
+    seen = {key}
+    seen.pop()
+    return value

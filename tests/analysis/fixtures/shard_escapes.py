@@ -1,0 +1,73 @@
+"""Seeded shard-isolation fixture: one specimen of every escape.
+
+Never imported by the suite — read from disk by tests/analysis to prove
+that each ``shard-*`` rule fires and that ``juggler-repro analyze``
+reports them.  Paths outside the package map get the full shard rule
+set (mirroring the strict-lint default), so every escape below is live
+here.  The safe idioms at the bottom must stay silent.
+"""
+
+
+#: shard-module-state: one flow table shared by every shard in the process.
+FLOW_CACHE = {}
+
+#: shard-module-state: per-core OfoQueues parked in module scope — any
+#: shard (or the reporting layer) could reach another core's buffers.
+LEAKED_QUEUES = []
+
+
+def leak_ofo_queue(entry):
+    # The leak itself: a flow's private ofo queue escapes to module scope.
+    LEAKED_QUEUES.append(entry.ofo)
+
+
+def rebind_cache():
+    global FLOW_CACHE
+    FLOW_CACHE = {}
+
+
+def register_gauges(cores, metrics):
+    stats = {}
+    for core in cores:
+        # Late binding: every gauge reads the *last* core.
+        metrics.gauge(core.name, lambda: core.occupancy)
+        # One dict threaded into every shard's gauge.
+        metrics.gauge(core.name, lambda: len(stats))
+
+
+def cross_core_flow_handoff(cores):
+    # A FlowEntry handed out by core 0's table, admitted into core 1's.
+    entry = cores[0].gro.table.pick_victim()
+    cores[1].gro.table.add(entry)
+
+
+def cross_core_direct(queues):
+    queues[1].absorb(queues[0].ring)
+
+
+def shared_container_constructors(n):
+    shared_stats = {}
+    out = []
+    for i in range(n):
+        out.append(RxCore(i, shared_stats))
+    return out
+
+
+# -- safe idioms: none of these may be flagged --------------------------------
+
+
+def default_bound_gauges(cores, metrics):
+    for core in cores:
+        metrics.gauge(core.name, lambda c=core: c.occupancy)
+
+
+def per_shard_copies(n, template):
+    out = []
+    for i in range(n):
+        out.append(RxCore(i, dict(template)))
+    return out
+
+
+def same_core_handoff(cores):
+    entry = cores[0].gro.table.pick_victim()
+    cores[0].gro.table.add(entry)

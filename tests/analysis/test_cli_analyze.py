@@ -8,11 +8,18 @@ from repro.cli import main as cli_main
 
 FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
                        "determinism_violations.py")
+SHARD_FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
+                             "shard_escapes.py")
 
 #: Rules the seeded fixture must trip (random.choice carries an
 #: unjustified pragma, so it surfaces as bad-pragma, not global-random).
 EXPECTED_RULES = {"wall-clock", "global-random", "raw-rng", "mutable-default",
-                  "set-iteration", "float-ns", "bad-pragma"}
+                  "set-iteration", "float-ns", "id-ordering", "unordered-pop",
+                  "bad-pragma"}
+
+#: Rules the shard-escape fixture must trip through the same entry point.
+EXPECTED_SHARD_RULES = {"shard-module-state", "shard-closure-capture",
+                        "shard-cross-core-arg", "shard-shared-container"}
 
 
 def test_clean_tree_exits_zero(capsys):
@@ -39,6 +46,18 @@ def test_json_format(capsys):
         assert f["policy"] == "strict"
 
 
+def test_shard_fixture_exits_nonzero(capsys):
+    assert analyze([SHARD_FIXTURE]) == 1
+    out = capsys.readouterr().out
+    for rule in EXPECTED_SHARD_RULES:
+        assert f"[{rule}]" in out, f"fixture did not trip {rule}"
+
+
+def test_no_shard_flag_skips_the_escape_pass(capsys):
+    assert analyze(["--no-shard", SHARD_FIXTURE]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
 def test_bad_path_exits_two(capsys):
     assert analyze(["/no/such/path.py"]) == 2
     assert "no such path" in capsys.readouterr().err
@@ -47,7 +66,7 @@ def test_bad_path_exits_two(capsys):
 def test_rules_catalog(capsys):
     assert analyze(["--rules"]) == 0
     out = capsys.readouterr().out
-    for rule in EXPECTED_RULES:
+    for rule in EXPECTED_RULES | EXPECTED_SHARD_RULES:
         assert rule in out
 
 

@@ -7,12 +7,14 @@ from repro.analysis.policy import (
     BAD_PRAGMA,
     FLOAT_NS,
     GLOBAL_RANDOM,
+    ID_ORDERING,
     MUTABLE_DEFAULT,
     RAW_RNG,
     RELAXED,
     SET_ITERATION,
     STANDARD,
     STRICT,
+    UNORDERED_POP,
     WALL_CLOCK,
     policy_for,
 )
@@ -154,6 +156,54 @@ def test_non_ns_name_is_fine():
     assert rules("ratio = t / 2\n") == []
 
 
+# --- id-ordering --------------------------------------------------------------
+
+
+def test_id_call_flagged():
+    assert rules("k = id(obj)\n") == [ID_ORDERING]
+    assert rules("m = {id(o): o for o in objs}\n") == [ID_ORDERING]
+    assert rules("out = sorted(objs, key=id)\n") == []  # only calls flag
+
+
+def test_id_method_on_another_object_is_fine():
+    assert rules("row = table.id(7)\n") == []
+
+
+# --- unordered-pop ------------------------------------------------------------
+
+
+def test_popitem_flagged():
+    assert rules("k, v = table.popitem()\n") == [UNORDERED_POP]
+
+
+def test_set_display_pop_flagged():
+    assert rules("x = {1, 2}.pop()\n") == [UNORDERED_POP]
+
+
+def test_named_set_pop_flagged():
+    assert rules("seen = set()\nseen.pop()\n") == [UNORDERED_POP]
+
+
+def test_named_set_pop_flagged_regardless_of_order():
+    # The set binding after the pop still marks the name set-like.
+    assert rules("def f(seen):\n"
+                 "    seen.pop()\n"
+                 "    seen = set()\n"
+                 "    return seen\n") == [UNORDERED_POP]
+
+
+def test_keyed_and_list_pops_are_fine():
+    assert rules("v = table.pop(key)\n") == []
+    assert rules("items = [1, 2]\nlast = items.pop()\n") == []
+
+
+def test_new_rules_accept_justified_pragmas():
+    assert rules("k = id(obj)  # det: allow(id-ordering) "
+                 "-- debug label, never ordered\n") == []
+    assert rules("k, v = d.popitem()  # det: allow(unordered-pop) "
+                 "-- dict holds exactly one entry here\n") == []
+
+
 # --- policies -----------------------------------------------------------------
 
 
@@ -178,6 +228,12 @@ def test_relaxed_policy_still_bans_global_random():
 def test_standard_policy_skips_float_ns():
     assert rules("deadline_ns = t * 1.5\n",
                  "src/repro/experiments/common.py") == []
+
+
+def test_relaxed_policy_skips_the_ordering_rules():
+    assert rules("k = id(obj)\n", "src/repro/campaign/scheduler.py") == []
+    assert rules("k, v = d.popitem()\n",
+                 "src/repro/campaign/scheduler.py") == []
 
 
 # --- pragmas ------------------------------------------------------------------

@@ -1,0 +1,248 @@
+"""OSAN adversarial tests: cross-domain access, forced and caught.
+
+Mirrors test_sanitizer.py: each test reaches into another shard's state
+the way a parallelism bug would and asserts OSAN raises an actionable
+diagnostic — plus the activation paths and a clean end-to-end run that
+must stay silent.
+"""
+
+import pytest
+
+from repro.analysis import runtime
+from repro.analysis.ownership import (
+    OwnershipError,
+    OwnershipSanitizer,
+    RENDEZVOUS_POINTS,
+)
+from repro.core import FlowEntry, GroTable, JugglerConfig, JugglerGRO, Phase
+from repro.net import FiveTuple, MSS, Packet
+from repro.nic import Nic, NicConfig
+from repro.sim import Engine
+
+
+@pytest.fixture(autouse=True)
+def _restore_runtime():
+    """Leave the process-wide sanitizers exactly as the suite found it."""
+    yield
+    runtime.reset()
+
+
+def entry(i=0):
+    e = FlowEntry(FiveTuple(1, 2, 1000 + i, 80), 0)
+    e.phase = Phase.BUILD_UP
+    return e
+
+
+def owned_table(osan, capacity=4, name="nic.core0"):
+    """A GroTable claimed by a fresh shard domain, as CoreSet would."""
+    table = GroTable(capacity)
+    table.owner_domain = osan.register_domain(name)
+    return table
+
+
+# --- the check ----------------------------------------------------------------
+
+
+def test_cross_domain_table_access_raises_actionably():
+    osan = runtime.install_osan(OwnershipSanitizer())
+    table = owned_table(osan)
+    intruder = osan.register_domain("nic.core1")
+    osan.enter(intruder)
+    try:
+        with pytest.raises(OwnershipError) as exc:
+            table.add(entry())
+    finally:
+        osan.exit()
+    message = str(exc.value)
+    assert "OSAN: cross-domain access" in message
+    assert "add on GroTable" in message
+    assert "nic.core0" in message and "nic.core1" in message
+    assert "nic.drain" in message and "steer.migration" in message
+    assert "docs/shardcheck.md" in message
+
+
+def test_owner_domain_access_is_silent():
+    osan = runtime.install_osan(OwnershipSanitizer())
+    table = owned_table(osan)
+    osan.enter(table.owner_domain)
+    try:
+        e = entry()
+        table.add(e)
+        table.move(e, Phase.ACTIVE_MERGE)
+        table.remove(e)
+    finally:
+        osan.exit()
+    assert osan.checks_run >= 3
+
+
+def test_ambient_access_is_silent():
+    """No domain entered (tests, reporting): reads pass everywhere."""
+    osan = runtime.install_osan(OwnershipSanitizer())
+    table = owned_table(osan)
+    table.add(entry())
+    assert table.pick_victim() is not None
+
+
+def test_untagged_objects_are_shared():
+    osan = runtime.install_osan(OwnershipSanitizer())
+    table = GroTable(4)  # never claimed
+    osan.enter(osan.register_domain("nic.core1"))
+    try:
+        table.add(entry())
+    finally:
+        osan.exit()
+
+
+def test_admission_propagates_owner_to_entry_and_ofo():
+    osan = runtime.install_osan(OwnershipSanitizer())
+    table = owned_table(osan)
+    e = entry()
+    table.add(e)
+    assert e.owner_domain is table.owner_domain
+    assert e.ofo.owner_domain is table.owner_domain
+    # ... so moving the entry from another shard is caught too.
+    osan.enter(osan.register_domain("nic.core1"))
+    try:
+        with pytest.raises(OwnershipError, match="move on FlowEntry"):
+            table.move(e, Phase.ACTIVE_MERGE)
+    finally:
+        osan.exit()
+
+
+def test_enter_none_is_an_explicit_ambient_frame():
+    osan = OwnershipSanitizer()
+    domain = osan.register_domain("nic.core0")
+    osan.enter(domain)
+    osan.enter(None)  # e.g. an unclaimed queue's poll
+    assert osan.current is None
+    osan.exit()
+    assert osan.current is domain
+    osan.exit()
+    assert osan.current is None
+
+
+# --- rendezvous ---------------------------------------------------------------
+
+
+def test_transfer_at_rendezvous_changes_hands():
+    osan = runtime.install_osan(OwnershipSanitizer())
+    table = owned_table(osan)
+    osan.transfer(table, None, point="nic.drain")
+    assert table.owner_domain is None
+    assert osan.transfers == 1
+    # Now ambient: any domain may touch it.
+    osan.enter(osan.register_domain("nic.core1"))
+    try:
+        table.add(entry())
+    finally:
+        osan.exit()
+
+
+def test_transfer_outside_rendezvous_raises():
+    osan = OwnershipSanitizer()
+    table = GroTable(4)
+    with pytest.raises(OwnershipError) as exc:
+        osan.transfer(table, None, point="random.place")
+    message = str(exc.value)
+    assert "illegal ownership transfer" in message
+    assert "not a rendezvous point" in message
+    for point in RENDEZVOUS_POINTS:
+        assert point in message
+
+
+def test_record_migration_counts():
+    osan = OwnershipSanitizer()
+    osan.record_migration(FiveTuple(1, 2, 1000, 80), 0, 2)
+    assert osan.migrations_recorded == 1
+
+
+# --- activation paths ---------------------------------------------------------
+
+
+def test_env_var_arms_new_components(monkeypatch):
+    monkeypatch.setenv("JUGGLER_OSAN", "1")
+    runtime.reset()
+    osan = runtime.current_osan()
+    assert isinstance(osan, OwnershipSanitizer)
+    assert GroTable(2).osan is osan
+
+
+@pytest.mark.parametrize("value", ["", "0", "false", "off", "no"])
+def test_falsy_env_values_stay_disabled(monkeypatch, value):
+    monkeypatch.setenv("JUGGLER_OSAN", value)
+    runtime.reset()
+    assert runtime.current_osan() is None
+    assert GroTable(2).osan is None
+
+
+def test_install_uninstall_cycle():
+    osan = OwnershipSanitizer()
+    runtime.install_osan(osan)
+    assert GroTable(2).osan is osan
+    runtime.uninstall_osan()
+    assert GroTable(2).osan is None
+
+
+def test_ownership_checking_context_manager_scopes():
+    runtime.uninstall_osan()
+    with runtime.ownership_checking() as osan:
+        assert runtime.current_osan() is osan
+        assert GroTable(2).osan is osan
+    assert runtime.current_osan() is None
+
+
+def test_osan_composes_with_jsan():
+    from repro.analysis.sanitizer import Sanitizer
+
+    with runtime.sanitizing() as jsan:
+        with runtime.ownership_checking() as osan:
+            table = GroTable(2)
+            assert table.sanitizer is jsan and table.osan is osan
+
+
+# --- end to end through the NIC ----------------------------------------------
+
+
+def build_nic(engine, queues=4):
+    return Nic(engine, lambda s: None,
+               lambda d: JugglerGRO(d, JugglerConfig()),
+               NicConfig(num_queues=queues, coalesce_ns=10_000))
+
+
+def test_coreset_claims_one_domain_per_core():
+    osan = runtime.install_osan(OwnershipSanitizer())
+    nic = build_nic(Engine())
+    assert len(osan.domains) == 4
+    assert [core.domain for core in nic.cores] == osan.domains
+    for core in nic.cores:
+        assert core.queue.owner_domain is core.domain
+        assert core.queue.gro.table.owner_domain is core.domain
+
+
+def test_clean_multi_queue_run_is_silent_and_checked():
+    osan = runtime.install_osan(OwnershipSanitizer())
+    engine = Engine()
+    nic = build_nic(engine)
+    flows = [FiveTuple(1, 2, 1000 + i, 80) for i in range(16)]
+    for seq in range(8):
+        for flow in flows:
+            nic.receive(Packet(flow, seq * MSS, MSS))
+        engine.run_until(engine.now + 20_000)
+    nic.drain()
+    assert osan.checks_run > 0
+    # nic.drain handed every claimed queue and table back to ambient.
+    assert osan.transfers == 8  # 4 queues + 4 tables
+    for queue in nic.queues:
+        assert queue.owner_domain is None
+        assert queue.gro.table.owner_domain is None
+
+
+def test_draining_anothers_queue_from_a_domain_raises():
+    osan = runtime.install_osan(OwnershipSanitizer())
+    nic = build_nic(Engine())
+    osan.enter(list(nic.cores)[0].domain)
+    try:
+        with pytest.raises(OwnershipError, match="drain on RxQueue"):
+            nic.queues[1].drain()
+    finally:
+        osan.exit()

@@ -1,0 +1,252 @@
+"""Each shard-isolation rule fires on a minimal specimen — and only there."""
+
+import os
+
+from repro.analysis.policy import (
+    BAD_PRAGMA,
+    SHARD_CLOSURE_CAPTURE,
+    SHARD_CROSS_CORE,
+    SHARD_MODULE_STATE,
+    SHARD_RULES,
+    SHARD_SHARED_CONTAINER,
+    shard_rules_for,
+)
+from repro.analysis.shardcheck import check_file, check_source, check_tree
+
+PATH = "src/repro/steer/specimen.py"
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
+                       "shard_escapes.py")
+
+
+def rules(source, path=PATH):
+    return [f.rule for f in check_source(source, path)]
+
+
+# --- shard-module-state -------------------------------------------------------
+
+
+def test_module_level_mutable_containers_flagged():
+    assert rules("CACHE = {}\n") == [SHARD_MODULE_STATE]
+    assert rules("QUEUES = []\n") == [SHARD_MODULE_STATE]
+    assert rules("SEEN = set()\n") == [SHARD_MODULE_STATE]
+    assert rules("from collections import deque\nRING = deque()\n") == \
+        [SHARD_MODULE_STATE]
+
+
+def test_annotated_module_state_flagged():
+    assert rules("TABLE: dict = {}\n") == [SHARD_MODULE_STATE]
+
+
+def test_conditional_module_state_flagged():
+    src = "import sys\nif sys.maxsize:\n    CACHE = {}\n"
+    assert rules(src) == [SHARD_MODULE_STATE]
+
+
+def test_global_rebind_flagged():
+    src = ("COUNT = 0\n"
+           "def bump():\n"
+           "    global COUNT\n"
+           "    COUNT += 1\n")
+    assert rules(src) == [SHARD_MODULE_STATE]
+
+
+def test_immutable_module_constants_are_fine():
+    assert rules("NAMES = frozenset({'a'})\n") == []
+    assert rules("LIMITS = (1, 2, 3)\n") == []
+    assert rules("__all__ = ['RxCore']\n") == []
+
+
+def test_function_local_containers_are_fine():
+    assert rules("def f():\n    cache = {}\n    return cache\n") == []
+
+
+# --- shard-closure-capture ----------------------------------------------------
+
+
+def test_late_bound_loop_variable_flagged():
+    src = ("def wire(cores, metrics):\n"
+           "    for core in cores:\n"
+           "        metrics.gauge('x', lambda: core.occupancy)\n")
+    assert rules(src) == [SHARD_CLOSURE_CAPTURE]
+
+
+def test_nested_def_capturing_loop_variable_flagged():
+    src = ("def wire(cores):\n"
+           "    out = []\n"
+           "    for core in cores:\n"
+           "        def probe():\n"
+           "            return core.occupancy\n"
+           "        out.append(probe)\n"
+           "    return out\n")
+    assert rules(src) == [SHARD_CLOSURE_CAPTURE]
+
+
+def test_shared_mutable_captured_in_loop_flagged():
+    src = ("def wire(cores, metrics):\n"
+           "    stats = {}\n"
+           "    for core in cores:\n"
+           "        metrics.gauge('x', lambda c=core: stats)\n")
+    assert rules(src) == [SHARD_CLOSURE_CAPTURE]
+
+
+def test_default_bound_loop_variable_is_fine():
+    src = ("def wire(cores, metrics):\n"
+           "    for core in cores:\n"
+           "        metrics.gauge('x', lambda c=core: c.occupancy)\n")
+    assert rules(src) == []
+
+
+def test_closure_outside_loops_is_fine():
+    src = ("def wire(core, metrics):\n"
+           "    stats = {}\n"
+           "    metrics.gauge('x', lambda: stats)\n")
+    assert rules(src) == []
+
+
+def test_mutable_bound_inside_loop_is_fine():
+    # A fresh container per iteration is per-shard state, not shared.
+    src = ("def wire(cores, metrics):\n"
+           "    for core in cores:\n"
+           "        stats = {}\n"
+           "        metrics.gauge('x', lambda s=stats: s)\n")
+    assert rules(src) == []
+
+
+# --- shard-cross-core-arg -----------------------------------------------------
+
+
+def test_direct_cross_core_argument_flagged():
+    src = ("def f(queues):\n"
+           "    queues[1].absorb(queues[0].ring)\n")
+    assert rules(src) == [SHARD_CROSS_CORE]
+
+
+def test_cross_core_handoff_through_alias_flagged():
+    src = ("def f(cores):\n"
+           "    entry = cores[0].gro.table.pick_victim()\n"
+           "    cores[1].gro.table.add(entry)\n")
+    assert rules(src) == [SHARD_CROSS_CORE]
+
+
+def test_same_core_handoff_is_fine():
+    src = ("def f(cores):\n"
+           "    entry = cores[0].gro.table.pick_victim()\n"
+           "    cores[0].gro.table.add(entry)\n")
+    assert rules(src) == []
+
+
+def test_symbolic_same_index_is_fine():
+    src = ("def f(cores, i):\n"
+           "    entry = cores[i].gro.table.pick_victim()\n"
+           "    cores[i].gro.table.add(entry)\n")
+    assert rules(src) == []
+
+
+def test_reassigned_alias_is_cleared():
+    src = ("def f(cores, fresh):\n"
+           "    entry = cores[0].gro.table.pick_victim()\n"
+           "    entry = fresh\n"
+           "    cores[1].gro.table.add(entry)\n")
+    assert rules(src) == []
+
+
+def test_non_shard_collection_names_are_fine():
+    src = ("def f(rows):\n"
+           "    rows[1].merge(rows[0].data)\n")
+    assert rules(src) == []
+
+
+# --- shard-shared-container ---------------------------------------------------
+
+
+def test_shared_container_into_loop_constructor_flagged():
+    src = ("def build(n):\n"
+           "    stats = {}\n"
+           "    out = []\n"
+           "    for i in range(n):\n"
+           "        out.append(RxCore(i, stats))\n"
+           "    return out\n")
+    assert rules(src) == [SHARD_SHARED_CONTAINER]
+
+
+def test_per_shard_copy_is_fine():
+    src = ("def build(n):\n"
+           "    stats = {}\n"
+           "    out = []\n"
+           "    for i in range(n):\n"
+           "        out.append(RxCore(i, dict(stats)))\n"
+           "    return out\n")
+    assert rules(src) == []
+
+
+def test_lowercase_callee_is_not_a_constructor():
+    src = ("def build(n, sink):\n"
+           "    stats = {}\n"
+           "    for i in range(n):\n"
+           "        sink.record(stats)\n")
+    assert rules(src) == []
+
+
+# --- package scoping ----------------------------------------------------------
+
+
+def test_shard_rules_cover_the_receive_path_only():
+    assert shard_rules_for("src/repro/steer/policy.py") == SHARD_RULES
+    assert shard_rules_for("src/repro/nic/rxqueue.py") == SHARD_RULES
+    assert shard_rules_for("src/repro/core/gro_table.py") == SHARD_RULES
+    assert shard_rules_for("src/repro/trace/tracer.py") == SHARD_RULES
+    # Driver layers never run inside a shard.
+    assert shard_rules_for("src/repro/campaign/scheduler.py") == frozenset()
+    assert shard_rules_for("src/repro/experiments/common.py") == frozenset()
+    assert shard_rules_for("src/repro/tcp/receiver.py") == frozenset()
+    # Unattributable paths (fixtures) stay live specimens.
+    assert shard_rules_for("tests/analysis/fixtures/x.py") == SHARD_RULES
+
+
+def test_non_shard_package_source_is_skipped():
+    assert rules("CACHE = {}\n", "src/repro/campaign/worker.py") == []
+
+
+# --- pragmas ------------------------------------------------------------------
+
+
+def test_justified_pragma_waives():
+    src = ("CACHE = {}  # det: allow(shard-module-state) "
+           "-- frozen at import, never written\n")
+    assert rules(src) == []
+
+
+def test_pragma_without_justification_is_a_finding():
+    src = "CACHE = {}  # det: allow(shard-module-state)\n"
+    findings = check_source(src, PATH)
+    assert [f.rule for f in findings] == [BAD_PRAGMA]
+
+
+def test_unknown_rule_pragmas_are_the_determinism_passes_job():
+    # Reported once, by lint_source — not double-counted here.
+    assert rules("x = 1  # det: allow(nonsense)\n") == []
+
+
+def test_syntax_error_reported_as_finding():
+    findings = check_source("def broken(:\n", PATH)
+    assert [f.rule for f in findings] == ["syntax-error"]
+
+
+# --- whole files --------------------------------------------------------------
+
+
+def test_fixture_trips_every_shard_rule():
+    found = [f.rule for f in check_file(FIXTURE)]
+    assert found.count(SHARD_MODULE_STATE) == 3  # two bindings + global
+    assert found.count(SHARD_CLOSURE_CAPTURE) == 2
+    assert found.count(SHARD_CROSS_CORE) == 2
+    assert found.count(SHARD_SHARED_CONTAINER) == 1
+    assert set(found) == SHARD_RULES
+
+
+def test_shipped_tree_is_clean():
+    import repro
+
+    tree = os.path.dirname(os.path.abspath(repro.__file__))
+    assert check_tree(tree) == []
