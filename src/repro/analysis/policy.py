@@ -170,7 +170,9 @@ def policy_for(path: str) -> Policy:
 
 #: Packages under ``repro/`` whose modules are shard-isolation checked:
 #: everything the per-core receive path touches (see docs/shardcheck.md).
-SHARD_PACKAGES = frozenset({"steer", "nic", "core", "trace"})
+#: ``net`` joined with the struct-of-arrays batches — PacketBatch columns
+#: are per-shard state the moment an RxQueue stages them.
+SHARD_PACKAGES = frozenset({"steer", "nic", "core", "trace", "net"})
 
 
 def shard_rules_for(path: str) -> FrozenSet[str]:

@@ -201,3 +201,10 @@ class GroTable:
         loss-recovery lists."""
         yield from self._lists["active"].values()
         yield from self._lists["loss_recovery"].values()
+
+    def deadline_lists(self) -> tuple:
+        """The same flows as :meth:`iter_with_deadlines`, as two dict
+        views — the timeout pre-scan runs every poll completion and the
+        generator overhead is measurable there."""
+        lists = self._lists
+        return lists["active"].values(), lists["loss_recovery"].values()

@@ -23,36 +23,30 @@ import enum
 
 
 class Phase(enum.Enum):
-    """Lifecycle phase of a flow entry; determines which list holds it."""
+    """Lifecycle phase of a flow entry; determines which list holds it.
 
-    INITIAL = "initial"
-    BUILD_UP = "build_up"
-    ACTIVE_MERGE = "active_merge"
-    POST_MERGE = "post_merge"
-    LOSS_RECOVERY = "loss_recovery"
+    ``list_name`` — which of the three gro_table lists flows in this phase
+    live on ("none" for the transient INITIAL, which is never stored).
 
-    @property
-    def list_name(self) -> str:
-        """Which of the three gro_table lists flows in this phase live on."""
-        if self in (Phase.BUILD_UP, Phase.ACTIVE_MERGE):
-            return "active"
-        if self is Phase.POST_MERGE:
-            return "inactive"
-        if self is Phase.LOSS_RECOVERY:
-            return "loss_recovery"
-        return "none"  # INITIAL is transient, never stored
+    ``evictable_rank`` — eviction preference, lower evicted first (§4.3):
+    post-merge flows have empty OOO queues and no holes, so evicting them
+    is free; active flows may have holes and risk timeout stalls on
+    re-entry (Figure 8); loss-recovery flows are the worst candidates
+    because their future packets are *known* to have holes.
 
-    @property
-    def evictable_rank(self) -> int:
-        """Eviction preference: lower rank is evicted first (§4.3).
+    Both are precomputed member attributes — the table re-homes entries on
+    every phase transition, so these sit on the receive hot path.
+    """
 
-        Post-merge flows have empty OOO queues and no holes — evicting them
-        is free.  Active flows may have holes; evicting them risks timeout
-        stalls on re-entry (Figure 8).  Loss-recovery flows are the worst
-        candidates because their future packets are *known* to have holes.
-        """
-        if self is Phase.POST_MERGE:
-            return 0
-        if self in (Phase.BUILD_UP, Phase.ACTIVE_MERGE):
-            return 1
-        return 2
+    INITIAL = ("initial", "none", 2)
+    BUILD_UP = ("build_up", "active", 1)
+    ACTIVE_MERGE = ("active_merge", "active", 1)
+    POST_MERGE = ("post_merge", "inactive", 0)
+    LOSS_RECOVERY = ("loss_recovery", "loss_recovery", 2)
+
+    def __new__(cls, value: str, list_name: str, evictable_rank: int):
+        member = object.__new__(cls)
+        member._value_ = value
+        member.list_name = list_name
+        member.evictable_rank = evictable_rank
+        return member

@@ -19,6 +19,7 @@ from repro.net.constants import (
     transmit_time_ns,
 )
 from repro.net.addr import FiveTuple
+from repro.net.batch import PacketBatch, SoaSegment
 from repro.net.flags import TcpFlags
 from repro.net.packet import Packet
 from repro.net.segment import Segment, BatchingMode
@@ -38,7 +39,9 @@ __all__ = [
     "FiveTuple",
     "TcpFlags",
     "Packet",
+    "PacketBatch",
     "Segment",
+    "SoaSegment",
     "BatchingMode",
     "segment_tso_burst",
 ]

@@ -12,6 +12,16 @@ from repro.net.flags import TcpFlags
 _packet_ids = itertools.count()
 
 
+def next_pid() -> int:
+    """Consume and return the next packet id.
+
+    This is also the allocation watermark the zero-allocation guards use:
+    two calls bracketing a region return consecutive values iff no
+    ``Packet`` was constructed (or pool-reset) in between.
+    """
+    return next(_packet_ids)
+
+
 class Packet:
     """One MTU-or-smaller TCP/IP packet.
 
@@ -39,6 +49,8 @@ class Packet:
         "is_retransmission",
         "path_id",
         "sig",
+        "sig_key",
+        "fint",
         "forces_flush",
         "corrupt",
         "origin",
@@ -89,7 +101,14 @@ class Packet:
         # GRO-hot-path fields, precomputed once here instead of per merge
         # check (IntFlag arithmetic is far too slow for a per-probe cost).
         f = int(flags)
+        self.fint = f
         self.sig = (options, ce, f & ~0x08)  # ~PSH
+        #: Integer merge signature for columnar paths: flag bits (sans PSH)
+        #: plus 0x100 when any TCP options ride along and 0x200 for CE.
+        #: Injective w.r.t. ``sig`` whenever ``options == ()`` — packets
+        #: carrying options collapse onto the 0x100 bit, so columnar code
+        #: must treat that bit as "opaque, fall back to the tuple".
+        self.sig_key = (f & ~0x08) | (0x100 if options else 0) | (0x200 if ce else 0)
         self.forces_flush = (f & 0x2F) != 0  # PSH|URG|SYN|FIN|RST
 
     def reset(
@@ -130,6 +149,7 @@ class Packet:
         """
         self.ce = True
         self.sig = (self.options, True, self.sig[2])
+        self.sig_key |= 0x200
 
     @property
     def end_seq(self) -> int:

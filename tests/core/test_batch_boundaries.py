@@ -1,0 +1,219 @@
+"""The fast/fallback boundary of the columnar receive path, under JSAN+OSAN.
+
+The struct-of-arrays fast loop handles exactly the in-order mergeable
+middle of a flow run; every documented trigger must punt to the
+per-packet reference path *and* leave identical state behind.  Each case
+here drives the trigger through both the reference and the native
+columnar path with both sanitizers installed (JSAN state-machine checks
+after every packet, OSAN ownership checks on every table touch), so a
+fast path that cuts a corner trips an invariant rather than a diff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ownership import OwnershipSanitizer
+from repro.analysis.runtime import ownership_checking, sanitizing
+from repro.core.config import JugglerConfig
+from repro.core.juggler import JugglerGRO
+from repro.core.phases import Phase
+from repro.net.addr import FiveTuple
+from repro.net.batch import PacketBatch
+from repro.net.constants import MSS
+from repro.net.flags import TcpFlags
+from repro.net.packet import Packet
+from repro.sim.time import US
+
+from tests.core.test_receive_batch_mirror import (
+    drive,
+    native_batch,
+    segment_summaries,
+    stats_tuple,
+    table_snapshot,
+)
+
+
+def FLOW(i: int = 0) -> FiveTuple:
+    return FiveTuple(1 + i, 2, 1000 + i, 80)
+
+
+@pytest.fixture(autouse=True)
+def _sanitized():
+    with sanitizing():
+        with ownership_checking(OwnershipSanitizer()):
+            yield
+
+
+def _factory(sink):
+    return JugglerGRO(sink, config=JugglerConfig())
+
+
+def _warm(g, flow, upto):
+    """March a flow out of BUILD_UP with ``seq_next == upto``."""
+    now = 0
+    for k in range(3):
+        g.receive(Packet(flow, k * MSS, MSS), now)
+    g.poll_complete(now)
+    now += 51 * US
+    g.check_timeouts(now)
+    entry = g.table.lookup(flow)
+    assert entry is not None
+    assert entry.phase in (Phase.ACTIVE_MERGE, Phase.POST_MERGE)
+    while entry.seq_next < upto:
+        g.receive(Packet(flow, entry.seq_next, MSS), now)
+        now += 51 * US
+        g.check_timeouts(now)
+    return entry, now
+
+
+def _pair(build_packets, *, batch=32):
+    """Drive the same packets per-packet and as native batches; compare."""
+    ref_segs, soa_segs = [], []
+    ref = _factory(ref_segs.append)
+    soa = _factory(soa_segs.append)
+    fr, now_r = _warm(ref, build_packets.flow, build_packets.base)
+    fs, now_s = _warm(soa, build_packets.flow, build_packets.base)
+    assert fr.seq_next == fs.seq_next and now_r == now_s
+    pkts = build_packets()
+    now = now_r + 1000
+    for p in pkts:
+        ref.receive(p, now)
+    ref.poll_complete(now)
+    soa.receive_batch(native_batch(build_packets()), now)
+    soa.poll_complete(now)
+    assert stats_tuple(soa) == stats_tuple(ref)
+    assert table_snapshot(soa) == table_snapshot(ref)
+    assert segment_summaries(soa_segs) == segment_summaries(ref_segs)
+    return ref, soa
+
+
+def _case(flow, base, fn):
+    fn.flow = flow
+    fn.base = base
+    return fn
+
+
+def test_ooo_packet_mid_run_splits_to_fallback():
+    """An out-of-order (seq < seq_next) row punts; the rest stay fast."""
+    flow = FLOW()
+    base = 8 * MSS
+
+    def build():
+        return [Packet(flow, base, MSS),
+                Packet(flow, 2 * MSS, MSS),          # stale: duplicate path
+                Packet(flow, base + MSS, MSS)]
+    ref, soa = _pair(_case(flow, base, build))
+    assert soa.soa_fallback_packets >= 1
+    assert soa.soa_fast_packets >= 2
+    assert soa.stats.ooo_segments == ref.stats.ooo_segments == 1
+
+
+@pytest.mark.parametrize("flags", (TcpFlags.ACK | TcpFlags.PSH,
+                                   TcpFlags.ACK | TcpFlags.FIN),
+                         ids=("psh", "fin"))
+def test_flush_forcing_flag_punts_the_row(flags):
+    flow = FLOW(1)
+    base = 8 * MSS
+
+    def build():
+        return [Packet(flow, base, MSS),
+                Packet(flow, base + MSS, MSS, flags=flags),
+                Packet(flow, base + 2 * MSS, MSS)]
+    ref, soa = _pair(_case(flow, base, build))
+    assert soa.soa_fallback_packets >= 1
+    assert soa.stats.flush_reasons == ref.stats.flush_reasons
+
+
+def test_ce_marked_row_punts():
+    flow = FLOW(2)
+    base = 8 * MSS
+
+    def build():
+        ce = Packet(flow, base + MSS, MSS)
+        ce.mark_ce()
+        return [Packet(flow, base, MSS), ce,
+                Packet(flow, base + 2 * MSS, MSS)]
+    _, soa = _pair(_case(flow, base, build))
+    assert soa.soa_fallback_packets >= 1
+
+
+def test_options_row_punts():
+    flow = FLOW(3)
+    base = 8 * MSS
+
+    def build():
+        return [Packet(flow, base, MSS),
+                Packet(flow, base + MSS, MSS, options=(("ts", 1),)),
+                Packet(flow, base + 2 * MSS, MSS)]
+    _, soa = _pair(_case(flow, base, build))
+    assert soa.soa_fallback_packets >= 1
+
+
+def test_zero_payload_and_jumbo_rows_punt():
+    flow = FLOW(4)
+    base = 8 * MSS
+
+    def build():
+        return [Packet(flow, base, MSS),
+                Packet(flow, base + MSS, 0),          # pure ACK: passthrough
+                Packet(flow, base + MSS, 3 * MSS),    # jumbo: > MSS
+                Packet(flow, base + 4 * MSS, MSS)]
+    ref, soa = _pair(_case(flow, base, build))
+    assert soa.stats.passthrough_packets == ref.stats.passthrough_packets == 1
+
+
+def test_build_up_flows_never_take_the_columnar_path():
+    """Fresh flows are BUILD_UP for their whole first batch: all fallback."""
+    from repro.net.addr import FiveTuple
+    g = _factory(lambda s: None)
+    b = PacketBatch()
+    for i in range(8):
+        fl = FiveTuple(50 + i, 2, 4000 + i, 80)
+        for k in range(4):
+            b.append_wire(fl, k * MSS, MSS)
+    g.receive_batch(b.seal(), 0)
+    g.poll_complete(0)
+    assert g.soa_fast_packets == 0
+    assert g.soa_fallback_packets == 32
+    for e in g.table:
+        assert e.phase is Phase.BUILD_UP
+
+
+def test_admission_and_eviction_mid_batch():
+    """A batch bigger than the table churns admissions/evictions in-loop."""
+    from repro.net.addr import FiveTuple
+    stream = []
+    for i in range(24):  # 3x the table capacity below
+        fl = FiveTuple(70 + i, 2, 5000 + i, 80)
+        for k in range(3):
+            stream.append(Packet(fl, k * MSS, MSS))
+
+    def factory(sink):
+        return JugglerGRO(sink, config=JugglerConfig(table_capacity=8))
+    reference = drive(factory, stream, "receive", batch=48)
+    for mode in ("obj_batch", "native"):
+        got = drive(factory, stream, mode, batch=48)
+        assert got[:3] == reference[:3], f"{mode} diverged under eviction"
+    # The reference really evicted (the case is not vacuous).
+    assert any(reference[0][10]), reference[0]
+
+
+def test_batch_columns_inherit_the_owning_shard_domain():
+    """OSAN: the staged batch carries the claiming core's domain."""
+    from repro.analysis import runtime as sanitize_runtime
+    from repro.net.addr import FiveTuple
+    from repro.nic.rxqueue import RxQueue
+    from repro.sim.engine import Engine
+
+    osan = sanitize_runtime.current_osan()
+    assert osan is not None
+    engine = Engine()
+    queue = RxQueue(engine, _factory(lambda s: None), columnar=True,
+                    coalesce_ns=1000)
+    domain = osan.register_domain("core0")
+    queue.claim(domain)
+    queue.enqueue_wire(FiveTuple(9, 2, 9000, 80), 0, MSS)
+    assert queue._wire.owner_domain is domain
+    engine.run_until(10_000)  # the poll runs as the domain: no violation
+    assert queue.delivered == 1

@@ -1,0 +1,288 @@
+"""Unit tests for the struct-of-arrays :class:`PacketBatch` / :class:`SoaSegment`."""
+
+import pytest
+
+from repro.net.addr import FiveTuple
+from repro.net.batch import (
+    FLUSH_MASK,
+    OBJ_ROW,
+    ODD_SIG_MASK,
+    PacketBatch,
+    SoaSegment,
+    sig_key_of,
+)
+from repro.net.constants import MSS, PRIORITY_HIGH
+from repro.net.flags import TcpFlags
+from repro.net.packet import Packet
+from repro.net.pool import PacketPool
+
+A = FiveTuple(1, 2, 1000, 80)
+B = FiveTuple(3, 4, 2000, 80)
+
+
+# -- native fill / seal / runs -------------------------------------------------
+
+def test_append_wire_columns_and_runs():
+    b = PacketBatch()
+    b.append_wire(A, 0, MSS)
+    b.append_wire(A, MSS, MSS)
+    b.append_wire(B, 0, MSS)
+    b.append_wire(A, 2 * MSS, MSS)
+    b.seal()
+    assert b.is_native and len(b) == 4
+    assert b.flows == [A, B]
+    assert b.runs == [(0, 0, 2), (1, 2, 3), (0, 3, 4)]
+    assert list(b.seq) == [0, MSS, 0, 2 * MSS]
+    assert list(b.payload_len) == [MSS] * 4
+    assert list(b.end_seq) == [MSS, 2 * MSS, MSS, 3 * MSS]
+    assert list(b.slot) == [0, 0, 1, 0]
+
+
+def test_seal_is_idempotent_and_empty_batch_is_fine():
+    b = PacketBatch()
+    assert b.seal() is b.seal()
+    assert b.runs == [] and len(b) == 0
+
+
+def test_sig_column_encodes_flags_ce_and_options():
+    b = PacketBatch()
+    b.append_wire(A, 0, MSS)
+    b.append_wire(A, MSS, MSS, ce=True)
+    b.append_wire(A, 2 * MSS, MSS, options=(("ts", 1),))
+    b.append_wire(A, 3 * MSS, MSS, flags=int(TcpFlags.ACK | TcpFlags.PSH))
+    b.seal()
+    sig = list(b.sig)
+    assert sig[0] == int(TcpFlags.ACK)
+    assert sig[1] & 0x200 and sig[2] & 0x100
+    # PSH is a flush flag, not a signature-odd bit.
+    assert not (sig[3] & ODD_SIG_MASK) and (b.flags[3] & FLUSH_MASK)
+    assert sig_key_of(int(TcpFlags.ACK), True, ()) == sig[1]
+
+
+# -- object-backed construction ------------------------------------------------
+
+def test_from_packets_builds_runs_and_lazy_columns():
+    pkts = [Packet(A, 0, MSS), Packet(A, MSS, MSS), Packet(B, 0, MSS)]
+    b = PacketBatch.from_packets(pkts)
+    assert not b.is_native and b.packets is pkts
+    assert b.runs == [(0, 0, 2), (1, 2, 3)]
+    assert b._seq is None  # columns not built yet
+    assert list(b.seq) == [0, MSS, 0]
+    assert list(b.sig) == [p.sig_key for p in pkts]
+
+
+def test_from_packets_distinct_equal_flow_objects_share_a_slot():
+    pkts = [Packet(FiveTuple(1, 2, 1000, 80), 0, MSS),
+            Packet(FiveTuple(1, 2, 1000, 80), MSS, MSS)]
+    b = PacketBatch.from_packets(pkts)
+    assert len(b.flows) == 1
+    assert b.runs == [(0, 0, 2)]
+
+
+# -- eligible_split ------------------------------------------------------------
+
+@pytest.mark.parametrize("make,why", [
+    (lambda: dict(payload_len=0), "zero payload"),
+    (lambda: dict(payload_len=3 * MSS), "jumbo"),
+    (lambda: dict(flags=int(TcpFlags.ACK | TcpFlags.FIN)), "flush flag"),
+    (lambda: dict(ce=True), "CE"),
+    (lambda: dict(options=(("ts", 1),)), "options"),
+])
+def test_eligible_split_stops_at_the_offending_row(make, why):
+    b = PacketBatch()
+    b.append_wire(A, 0, MSS)
+    kw = dict(payload_len=MSS)
+    kw.update(make())
+    ln = kw.pop("payload_len")
+    b.append_wire(A, MSS, ln, **kw)
+    b.append_wire(A, MSS + ln, MSS)
+    b.seal()
+    assert b.eligible_split(0, 3) == 1, why
+    assert b.eligible_split(2, 3) == 3
+
+
+def test_eligible_split_object_backed_matches_native():
+    pkts = [Packet(A, 0, MSS), Packet(A, MSS, MSS, flags=TcpFlags.ACK | TcpFlags.PSH),
+            Packet(A, 2 * MSS, MSS)]
+    obj = PacketBatch.from_packets(pkts)
+    nat = PacketBatch()
+    for p in pkts:
+        nat.append_wire(p.flow, p.seq, p.payload_len, flags=p.fint)
+    nat.seal()
+    assert obj.eligible_split(0, 3) == nat.eligible_split(0, 3) == 1
+
+
+# -- materialize / to_packets --------------------------------------------------
+
+def test_materialize_round_trips_header_fields():
+    b = PacketBatch()
+    b.append_wire(A, 7 * MSS, 512, flags=int(TcpFlags.ACK | TcpFlags.PSH),
+                  ce=True, sent_at=123, received_at=456,
+                  options=(("ts", 9),))
+    b.seal()
+    p = b.materialize(0)
+    assert (p.flow, p.seq, p.payload_len) == (A, 7 * MSS, 512)
+    assert p.flags == TcpFlags.ACK | TcpFlags.PSH and p.ce
+    assert p.sent_at == 123 and p.received_at == 456
+    assert p.options == (("ts", 9),)
+
+
+def test_materialize_draws_from_pool():
+    pool = PacketPool()
+    b = PacketBatch()
+    b.append_wire(A, 0, MSS)
+    b.seal()
+    p = b.materialize(0, pool)
+    assert p.origin is pool and pool.in_flight == 1
+
+
+def test_to_packets_identity_for_object_backed():
+    pkts = [Packet(A, 0, MSS)]
+    assert PacketBatch.from_packets(pkts).to_packets() is pkts
+
+
+# -- append_packet (object absorption) -----------------------------------------
+
+def test_append_packet_absorbs_plain_data_and_recycles():
+    pool = PacketPool()
+    pk = pool.acquire(A, 0, MSS, sent_at=5)
+    b = PacketBatch()
+    i = b.append_packet(pk, received_at=77)
+    assert pool.in_flight == 0  # released back on absorption
+    b.seal()
+    assert not (b.sig[i] & OBJ_ROW)
+    out = b.materialize(i)
+    assert (out.seq, out.payload_len, out.sent_at, out.received_at) == \
+        (0, MSS, 5, 77)
+
+
+def test_append_packet_carries_unrepresentable_rows_verbatim():
+    ack = Packet(A.reversed(), 0, 0, flags=TcpFlags.ACK, ack=5840,
+                 rwnd=65535, sack=((0, MSS),), priority=PRIORITY_HIGH)
+    b = PacketBatch()
+    i = b.append_packet(ack)
+    b.seal()
+    assert b.sig[i] & OBJ_ROW
+    assert b.eligible_split(i, i + 1) == i  # never columnar-eligible
+    out = b.materialize(i)
+    assert out is ack  # the very object, feedback fields intact
+    assert out.ack == 5840 and out.rwnd == 65535 and out.sack == ((0, MSS),)
+
+
+def test_append_packet_absorbs_tso_marked_data():
+    # The real sender stamps every data packet with a TSO burst id; the tso
+    # column carries it so absorption (not object-carry) is the common case
+    # for live traffic, and rehydration restores the id exactly.
+    pool = PacketPool()
+    pk = pool.acquire(A, 0, MSS, tso_id=42)
+    b = PacketBatch()
+    i = b.append_packet(pk)
+    assert pool.in_flight == 0  # absorbed by value, not parked
+    b.seal()
+    assert not (b.sig[i] & OBJ_ROW)
+    assert b.eligible_split(i, i + 1) == i + 1  # stays fast-path eligible
+    assert b.materialize(i).tso_id == 42
+    # Rows without an id rehydrate with tso_id None, not 0.
+    b2 = PacketBatch()
+    b2.append_wire(A, 0, MSS)
+    b2.seal()
+    assert b2.materialize(0).tso_id is None
+
+
+def test_append_packet_retransmission_rides_as_object():
+    pk = Packet(A, 0, MSS)
+    pk.is_retransmission = True
+    b = PacketBatch()
+    i = b.append_packet(pk)
+    assert b._sig[i] & OBJ_ROW
+    assert b.materialize(i) is pk
+
+
+# -- gather --------------------------------------------------------------------
+
+def test_gather_preserves_order_sigs_and_extras():
+    pk = Packet(A, 9 * MSS, MSS)
+    pk.is_retransmission = True
+    b = PacketBatch()
+    b.append_wire(A, 0, MSS)
+    b.append_wire(B, 0, MSS, options=(("ts", 3),))
+    b.append_wire(A, MSS, MSS, ce=True)
+    b.append_packet(pk)
+    b.seal()
+    sub = b.gather([1, 3])
+    assert len(sub) == 2 and sub.flows == [B, A]
+    assert sub.sig[0] & 0x100 and sub.materialize(0).options == (("ts", 3),)
+    assert sub.sig[1] & OBJ_ROW and sub.materialize(1) is pk
+
+
+def test_gather_carries_the_owner_domain():
+    b = PacketBatch()
+    b.append_wire(A, 0, MSS)
+    b.owner_domain = "core3"
+    assert b.gather([0]).owner_domain == "core3"
+
+
+def test_gather_rejects_object_backed():
+    with pytest.raises(ValueError):
+        PacketBatch.from_packets([Packet(A, 0, MSS)]).gather([0])
+
+
+# -- SoaSegment ----------------------------------------------------------------
+
+def _open_seg():
+    return SoaSegment.open(A, 0, MSS, MSS, int(TcpFlags.ACK), sent_at=10)
+
+
+def test_soa_segment_open_and_value_merges():
+    s = _open_seg()
+    s.append_value(MSS, 2 * MSS, MSS, int(TcpFlags.ACK), 11)
+    s.prepend_value(-MSS, MSS, int(TcpFlags.ACK), 3)
+    assert (s.seq, s.end_seq, s.mtus, s.payload_len) == (-MSS, 2 * MSS, 3, 3 * MSS)
+    assert s.first_sent_at == 3
+    assert not s.forces_flush and s.ce_payload_bytes == 0
+
+
+def test_soa_segment_close_on_flush_flag():
+    s = _open_seg()
+    s.append_value(MSS, 2 * MSS, MSS, int(TcpFlags.ACK | TcpFlags.PSH), 11)
+    assert s._closed and s.forces_flush
+
+
+def test_soa_segment_packets_materialize_lazily_and_stay_in_sync():
+    s = _open_seg()
+    s.append_value(MSS, 2 * MSS, MSS, int(TcpFlags.ACK), 11)
+    pkts = s.packets
+    assert [(p.seq, p.payload_len) for p in pkts] == [(0, MSS), (MSS, MSS)]
+    # Merges after materialization keep the object view coherent.
+    s.append_value(2 * MSS, 3 * MSS, MSS, int(TcpFlags.ACK), 12)
+    s.prepend_value(-MSS, MSS, int(TcpFlags.ACK), 2)
+    assert [p.seq for p in s.packets] == [-MSS, 0, MSS, 2 * MSS]
+    assert s.packets is pkts
+
+
+def test_soa_segment_absorbs_object_packets_and_recycles():
+    pool = PacketPool()
+    s = _open_seg()
+    tail = pool.acquire(A, MSS, MSS, sent_at=11)
+    head = pool.acquire(A, -MSS, MSS, sent_at=1)
+    s.append(tail)
+    s.prepend(head)
+    assert pool.in_flight == 0
+    assert (s.seq, s.end_seq, s.mtus) == (-MSS, 2 * MSS, 3)
+
+
+def test_soa_segment_extend_merges_value_lists():
+    s = _open_seg()
+    t = SoaSegment.open(A, MSS, 2 * MSS, MSS, int(TcpFlags.ACK), 11)
+    t.append_value(2 * MSS, 3 * MSS, MSS, int(TcpFlags.ACK | TcpFlags.PSH), 12)
+    s.extend(t)
+    assert (s.seq, s.end_seq, s.mtus, s._closed) == (0, 3 * MSS, 3, True)
+    assert [p.seq for p in s.packets] == [0, MSS, 2 * MSS]
+
+
+def test_soa_segment_extend_plain_segment_absorbs_packets():
+    from repro.net.segment import Segment
+    s = _open_seg()
+    t = Segment([Packet(A, MSS, MSS)])
+    s.extend(t)
+    assert (s.end_seq, s.mtus) == (2 * MSS, 2)

@@ -1,0 +1,281 @@
+"""Columnar RX rings: struct-of-arrays staging from wire to GRO.
+
+The NIC fills header columns at poll time (``enqueue_wire``) and the
+interrupt hands the sealed :class:`PacketBatch` to ``gro.receive_batch``
+whole — drop decisions happen before anything is allocated, and the
+object entry points (``enqueue``/``receive``) absorb packets into the
+same columns, so the two NIC modes stay observably identical.
+"""
+
+import random
+
+from repro.core import JugglerConfig, JugglerGRO, StandardGRO
+from repro.net import FiveTuple, MSS, Packet, TcpFlags
+from repro.net.batch import PacketBatch
+from repro.net.packet import next_pid
+from repro.net.pool import PacketPool
+from repro.nic import Nic, NicConfig, RxQueue
+from repro.perf.workloads import reordered_stream
+from repro.sim import Engine, US
+from repro.steer import FlowDirectorConfig, FlowDirectorSteering
+
+FLOW = FiveTuple(1, 2, 1000, 80)
+
+
+def make_queue(engine, **kw):
+    out = []
+    kw.setdefault("coalesce_ns", 100 * US)
+    gro = JugglerGRO(out.append, JugglerConfig())
+    return RxQueue(engine, gro, columnar=True, **kw), out
+
+
+def test_enqueue_wire_polls_columns_through_gro():
+    engine = Engine()
+    queue, out = make_queue(engine)
+    for i in range(5):
+        queue.enqueue_wire(FLOW, i * MSS, MSS)
+    assert queue.backlog == 5
+    engine.run_until(200 * US)
+    assert queue.backlog == 0
+    assert queue.polls == 1 and queue.delivered == 5
+    assert queue.gro.stats.packets == 5
+    # Five in-order frames of one flow merged like the object ring would.
+    assert len(out) == 1 and out[0].mtus == 5
+
+
+def test_wire_drops_allocate_no_packets():
+    """Checksum and overflow drops in column mode are counter increments."""
+    engine = Engine()
+    queue, _ = make_queue(engine, ring_size=2)
+    watermark = next_pid()
+    queue.enqueue_wire(FLOW, 0, MSS, corrupt=True)      # checksum drop
+    queue.enqueue_wire(FLOW, 0, MSS)
+    queue.enqueue_wire(FLOW, MSS, MSS)
+    queue.enqueue_wire(FLOW, 2 * MSS, MSS)              # ring overflow
+    assert queue.checksum_drops == 1 and queue.dropped == 1
+    assert queue.backlog == 2
+    # No Packet was constructed anywhere in the fill/drop path.
+    assert next_pid() == watermark + 1
+
+
+def test_enqueue_wire_requires_columnar_mode():
+    import pytest
+    engine = Engine()
+    gro = JugglerGRO(lambda s: None, JugglerConfig())
+    queue = RxQueue(engine, gro)
+    with pytest.raises(ValueError):
+        queue.enqueue_wire(FLOW, 0, MSS)
+
+
+def test_object_enqueue_absorbs_and_recycles_immediately():
+    engine = Engine()
+    queue, _ = make_queue(engine)
+    pool = PacketPool()
+    for i in range(4):
+        queue.enqueue(pool.acquire(FLOW, i * MSS, MSS))
+    # Representable data packets are absorbed by value at the ring edge.
+    assert pool.in_flight == 0
+    assert queue.backlog == 4
+    engine.run_until(101 * US)
+    assert queue.gro.stats.packets == 4
+    assert pool.in_flight == 0
+
+
+def test_corrupt_object_released_in_columnar_mode():
+    engine = Engine()
+    queue, _ = make_queue(engine)
+    pool = PacketPool()
+    bad = pool.acquire(FLOW, 0, MSS)
+    bad.corrupt = True
+    queue.enqueue(bad)
+    assert queue.checksum_drops == 1
+    assert pool.in_flight == 0
+
+
+def test_unrepresentable_ack_rides_through_verbatim():
+    engine = Engine()
+    queue, out = make_queue(engine)
+    ack = Packet(FLOW, 0, 0, flags=TcpFlags.ACK, ack=5840, rwnd=65_535,
+                 sack=((0, MSS),))
+    queue.enqueue(ack)
+    engine.run_until(101 * US)
+    assert queue.gro.stats.passthrough_packets == 1
+    # The delivered passthrough holds the very object that arrived —
+    # feedback fields (ack/rwnd/SACK) survive the columnar ring intact.
+    (seg,) = out
+    (got,) = seg.packets
+    assert got is ack and got.ack == 5840 and got.rwnd == 65_535
+
+
+def test_received_at_stamped_on_columns():
+    engine = Engine()
+    queue, _ = make_queue(engine)
+    engine.schedule(42, queue.enqueue_wire, FLOW, 0, MSS)
+    engine.run_until(50)
+    assert list(queue._wire._received_at) == [42]
+
+
+def test_stall_parks_staged_columns_until_unstall():
+    engine = Engine()
+    queue, _ = make_queue(engine)
+    queue.stall()
+    queue.enqueue_wire(FLOW, 0, MSS)
+    engine.run_until(200 * US)
+    assert queue.backlog == 1 and queue.polls == 0
+    queue.unstall()
+    engine.run_until(201 * US)
+    assert queue.backlog == 0 and queue.delivered == 1
+
+
+def test_drain_flushes_staged_columns():
+    engine = Engine()
+    queue, out = make_queue(engine)
+    queue.enqueue_wire(FLOW, 0, MSS)
+    queue.enqueue_wire(FLOW, 2 * MSS, MSS)
+    queue.drain()
+    assert queue.backlog == 0
+    assert sum(s.mtus for s in out) == 2
+
+
+def test_claim_tags_already_staged_batch():
+    engine = Engine()
+    queue, _ = make_queue(engine)
+    queue.enqueue_wire(FLOW, 0, MSS)
+    queue.claim("core7")
+    assert queue._wire.owner_domain == "core7"
+    # And batches staged after the claim inherit it too.
+    queue.drain()
+    queue.enqueue_wire(FLOW, 3 * MSS, MSS)
+    assert queue._wire.owner_domain == "core7"
+
+
+# -- whole-NIC equivalence -----------------------------------------------------
+
+def _stats_tuple(gro):
+    s = gro.stats
+    return (s.packets, s.merges, s.duplicates, s.flows_created,
+            s.passthrough_packets, s.segments, s.batched_mtus,
+            s.ooo_segments,
+            tuple(sorted((r.value, n) for r, n in s.flush_reasons.items())))
+
+
+def _seg_summary(segs):
+    return [(str(s.flow), s.seq, s.end_seq, s.mtus) for s in segs]
+
+
+def _native(chunk):
+    b = PacketBatch()
+    for p in chunk:
+        b.append_wire(p.flow, p.seq, p.payload_len, flags=p.fint, ce=p.ce,
+                      sent_at=p.sent_at)
+    return b.seal()
+
+
+def _drive_nic(engine, nic, stream, *, native, batch=32):
+    for k in range(0, len(stream), batch):
+        chunk = stream[k:k + batch]
+        if native:
+            nic.receive_batch(_native(chunk))
+        else:
+            for p in chunk:
+                nic.receive(Packet(p.flow, p.seq, p.payload_len,
+                                   flags=p.flags, sent_at=p.sent_at))
+        engine.run_until(engine.now + 20 * US)
+    nic.drain()
+
+
+def _run(num_queues, *, native, columnar, steering_factory=None, stream=None):
+    engine = Engine()
+    per_queue = []
+
+    def factory(deliver):
+        segs = []
+        per_queue.append(segs)
+        return JugglerGRO(segs.append, JugglerConfig())
+
+    steering = steering_factory() if steering_factory is not None else None
+    nic = Nic(engine, lambda s: None, factory,
+              NicConfig(num_queues=num_queues, coalesce_ns=10 * US,
+                        columnar=columnar),
+              steering=steering)
+    _drive_nic(engine, nic, stream, native=native)
+    return ([_stats_tuple(q.gro) for q in nic.queues],
+            [_seg_summary(s) for s in per_queue],
+            [q.delivered for q in nic.queues])
+
+
+def test_columnar_nic_matches_object_nic_under_rss():
+    stream = reordered_stream(32, 24, window=4, seed=5)
+    reference = _run(4, native=False, columnar=False, stream=stream)
+    for native, columnar in ((False, True), (True, True)):
+        got = _run(4, native=native, columnar=columnar, stream=stream)
+        assert got == reference, f"native={native} columnar={columnar}"
+
+
+def test_columnar_nic_matches_object_nic_under_flow_director():
+    stream = reordered_stream(16, 24, window=4, seed=7)
+
+    def fdir():
+        return FlowDirectorSteering(
+            FlowDirectorConfig(sample_rate=4, groups=4),
+            rng=random.Random(11))
+
+    reference = _run(4, native=False, columnar=False,
+                     steering_factory=fdir, stream=stream)
+    got = _run(4, native=True, columnar=True,
+               steering_factory=fdir, stream=stream)
+    assert got == reference
+
+
+def test_single_queue_native_batch_skips_the_demux():
+    stream = reordered_stream(8, 16, window=4, seed=3)
+    reference = _run(1, native=False, columnar=False, stream=stream)
+    got = _run(1, native=True, columnar=True, stream=stream)
+    assert got == reference
+
+
+def test_object_backed_batch_falls_back_to_per_packet_receive():
+    engine = Engine()
+    nic = Nic(engine, lambda s: None, lambda d: StandardGRO(d),
+              NicConfig(num_queues=2, coalesce_ns=10 * US))
+    pkts = [Packet(FiveTuple(i, 2, 5000 + i, 80), 0, MSS) for i in range(8)]
+    nic.receive_batch(PacketBatch.from_packets(pkts))
+    assert sum(q.backlog for q in nic.queues) == 8
+
+
+def test_full_stack_columnar_matches_object_and_takes_the_fast_path():
+    """Live TCP traffic (TSO-stamped data) through the whole testbed.
+
+    The sender stamps every data packet with a TSO burst id; the tso
+    column absorbs those by value, so the columnar NIC must (a) produce a
+    bit-identical universe to the object NIC and (b) actually run
+    column-wise — not punt the whole stream as object-carried rows.
+    """
+    from repro.fabric import build_netfpga_pair
+    from repro.sim import MS
+    from repro.tcp import Connection, TcpConfig
+
+    def run(columnar):
+        engine = Engine()
+        rng = random.Random(7)
+        config = JugglerConfig(inseq_timeout=52 * US, ofo_timeout=400 * US)
+        bed = build_netfpga_pair(
+            engine, rng, lambda d: JugglerGRO(d, config),
+            rate_gbps=10.0, reorder_delay_ns=250 * US,
+            nic_config=NicConfig(coalesce_frames=25, columnar=columnar))
+        conn = Connection(engine, bed.sender, bed.receiver, 1000, 80,
+                          TcpConfig())
+        conn.send(1 << 21)
+        engine.run_until(4 * MS)
+        gro = bed.receiver.gro_engines[0]
+        st = gro.stats
+        universe = (conn.delivered_bytes, conn.sender.snd_nxt,
+                    conn.sender.packets_sent, conn.receiver.acks_sent,
+                    st.segments, st.batched_mtus, st.merges,
+                    engine.events_processed)
+        return universe, gro.soa_fast_packets, gro.soa_fallback_packets
+
+    obj_universe, _, _ = run(False)
+    col_universe, fast, fallback = run(True)
+    assert col_universe == obj_universe
+    assert fast > 10 * max(fallback, 1)  # the stream runs column-wise
