@@ -1,0 +1,139 @@
+"""Fabric-telemetry overhead guard: a detector-less switch stays free.
+
+Acceptance contract for the in-fabric subsystem (flowcut routing + the
+sketch-based reordering detector): every fig12–15 reproduction builds
+switches with ``detector=None`` and an ECMP policy, so the new telemetry
+must cost nothing on that configuration.  Two-fold, mirroring
+``test_steer_overhead``:
+
+1. **No allocation**: ``tracemalloc`` sees zero allocations from the new
+   subsystem files (``repro/fabric/detector.py``, ``repro/fabric/flowcut.py``,
+   ``repro/trace/groundtruth.py``) while ``Switch.receive`` forwards a
+   multi-flow host-bound packet stream with no detector attached.
+2. **≤ 10% runtime**: best-of-interleaved-rounds of ``Switch.receive``
+   (which carries the ``detector is not None`` guard) lands within 10% of
+   the pre-detector receive body — the same route-lookup-and-enqueue in a
+   plain function, minus the guard — over the same link and packet stream.
+"""
+
+import time
+import tracemalloc
+
+from conftest import show
+
+from repro.fabric import QueuedLink, Switch
+from repro.net import FiveTuple, MSS, Packet
+from repro.sim import Engine
+
+N = 40_000
+FLOWS = 64
+DST = 99
+
+
+def packet_stream():
+    flows = [FiveTuple(1 + (i % 16), DST, 5000 + i, 80) for i in range(FLOWS)]
+    return [Packet(flows[i % FLOWS], (i // FLOWS) * MSS, MSS)
+            for i in range(N)]
+
+
+def make_switch():
+    # One direct route, never-run engine: only the first packet starts a
+    # (never-completing) transmission, so the loop measures pure
+    # lookup + guard + enqueue.
+    engine = Engine()
+    switch = Switch("tor0", engine=engine)
+    switch.add_route(DST, QueuedLink(engine, 40.0, switch, name="h99"))
+    return switch
+
+
+def drive_switch(packets):
+    switch = make_switch()
+    receive = switch.receive
+    for packet in packets:
+        receive(packet)
+    return switch
+
+
+def _receive_unguarded(switch, packet):
+    """The pre-detector ``Switch.receive`` direct branch, guard removed.
+
+    A plain function (same call-frame cost as the method) so the timing
+    delta isolates the ``detector is not None`` check itself.
+    """
+    direct = switch._direct.get(packet.flow.dst)
+    if direct is not None:
+        direct.enqueue(packet)
+
+
+def drive_inlined(packets):
+    switch = make_switch()
+    receive = _receive_unguarded
+    for packet in packets:
+        receive(switch, packet)
+    return switch
+
+
+def _time(fn, packets):
+    start = time.perf_counter()
+    fn(packets)
+    return time.perf_counter() - start
+
+
+def _delivered(switch):
+    link = switch.direct_links()[0]
+    return link.stats.packets + link.queued_packets
+
+
+def test_detectorless_switch_allocates_nothing_in_the_new_subsystem():
+    packets = packet_stream()
+    switch = make_switch()  # construction may allocate; the path must not
+    receive = switch.receive
+    tracemalloc.start()
+    try:
+        before = tracemalloc.take_snapshot()
+        for packet in packets:
+            receive(packet)
+        after = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    assert _delivered(switch) == N
+    new_files = ("repro/fabric/detector.py", "repro/fabric/flowcut.py",
+                 "repro/trace/groundtruth.py")
+    subsystem_allocs = [
+        stat for stat in after.compare_to(before, "filename")
+        if any(f in stat.traceback[0].filename.replace("\\", "/")
+               for f in new_files)
+        and stat.size_diff > 0
+    ]
+    assert subsystem_allocs == [], (
+        f"detector-less forwarding allocated in the fabric-telemetry "
+        f"subsystem: {subsystem_allocs}")
+
+
+def test_detector_guard_overhead_under_10pct(benchmark):
+    packets = packet_stream()
+    rounds = 7
+    guarded_times, inlined_times = [], []
+    drive_switch(packets)  # warm caches before timing
+    drive_inlined(packets)
+    for _ in range(rounds):  # interleave to share any machine noise
+        guarded_times.append(_time(drive_switch, packets))
+        inlined_times.append(_time(drive_inlined, packets))
+    best_guarded = min(guarded_times)
+    best_inlined = min(inlined_times)
+
+    switch = benchmark.pedantic(drive_switch, args=(packets,),
+                                rounds=1, iterations=1)
+    assert _delivered(switch) == N
+    assert switch.unroutable == 0
+
+    ratio = best_guarded / best_inlined
+    show("Microbench — detector guard overhead on Switch.receive "
+         "(detector=None)",
+         f"  guarded receive: {N / best_guarded / 1e3:.0f} kpps;  "
+         f"hand-inlined: {N / best_inlined / 1e3:.0f} kpps  "
+         f"(best of {rounds} interleaved rounds)\n"
+         f"  guard ratio: {ratio:.3f}x  (bound: 1.10x)")
+    assert ratio <= 1.10, (
+        f"disabled-detector guard costs {100 * (ratio - 1):.1f}% "
+        f"over inline forwarding")

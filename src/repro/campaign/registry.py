@@ -312,6 +312,17 @@ ADAPTERS: Dict[str, Adapter] = {a.name: a for a in [
                             ("intensity", "intensities"),
                             ("engine", "engines")],
                       point_cls="CcPoint", result_cls="CcResult"),
+    HiddenGridAdapter("host_vs_fabric", f"{_E}.host_vs_fabric",
+                      "host-side Juggler vs fabric-side in-order routing: "
+                      "GRO engine x routing policy x load x fault (see "
+                      "'juggler-repro fabric sweep')",
+                      "HostFabricParams",
+                      axes=[("engine", "engines"),
+                            ("routing", "routings"),
+                            ("load", "loads"),
+                            ("fault", "faults")],
+                      point_cls="HostFabricPoint",
+                      result_cls="HostFabricResult"),
     HiddenGridAdapter("faults_matrix", "repro.faults.experiments",
                       "resilience matrix: fault kind x intensity x GRO "
                       "engine (see 'juggler-repro faults matrix')",

@@ -15,6 +15,7 @@
     juggler-repro faults matrix --jobs 4         # resilience matrix sweep
     juggler-repro steer sweep --jobs 4           # self-inflicted reordering
     juggler-repro cc sweep --jobs 4              # congestion control x reordering
+    juggler-repro fabric sweep --jobs 4          # host-side vs fabric-side resilience
     juggler-repro campaign run --spec sweep.json --store out.jsonl --jobs 4
     juggler-repro campaign resume --spec sweep.json --store out.jsonl
     juggler-repro campaign report --store out.jsonl --json summary.json
@@ -173,6 +174,10 @@ def main(argv=None) -> int:
         from repro.cc.cli import main as cc_main
 
         return cc_main(argv[1:])
+    if argv and argv[0] == "fabric":
+        from repro.fabric.cli import main as fabric_main
+
+        return fabric_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="juggler-repro",
         description="Run reproduced experiments from the Juggler paper "
@@ -213,6 +218,8 @@ def main(argv=None) -> int:
               "self-inflicted reordering family (see docs/steering.md)")
         print("run 'juggler-repro cc sweep' for the congestion-control / "
               "reordering family (see docs/transport.md)")
+        print("run 'juggler-repro fabric sweep' for the host-vs-fabric "
+              "resilience comparison (see docs/fabric.md)")
         return 0
 
     names = (list(EXPERIMENTS) if args.experiments == ["all"]

@@ -1,0 +1,370 @@
+"""Where should reordering resilience live: host, fabric, or both?
+
+Juggler is the *host-side* answer to datacenter reordering — absorb it
+below the transport.  Flowcut switching is the *fabric-side* answer —
+never create it in the first place, by pinning each flowcut to one path
+until it provably drains (see :mod:`repro.fabric.flowcut`).  This family
+runs the two against and with each other on the two-stage Clos
+(ROADMAP item 4):
+
+* **engine** — ``juggler`` (resilient host stack) or ``standard``
+  (give-up-and-flush GRO): whether the *host* absorbs reordering.
+* **routing** — ``ecmp`` (never reorders, never balances),
+  ``per_packet`` (ideal balance, reorders freely), ``flowlet``
+  (gap-heuristic pinning — balances well, reorders under congestion),
+  ``flowcut`` (exact-drain pinning — balances adaptively, cannot
+  reorder): whether the *fabric* avoids reordering.
+* **load** — offered load as a fraction of uplink capacity; path skew
+  (and with it flowlet's failure mode) grows with load.
+* **fault** — periodic ``queue_saturation`` windows on one uplink,
+  forcing congestion-aware policies to route around a sick path.
+
+The interesting diagonal: (standard × flowcut) is "resilience in the
+fabric", (juggler × per_packet) is "resilience in the host", and the
+corners show what each buys alone.  Every ToR also runs the sketch-based
+reordering detector (:mod:`repro.fabric.detector`), so each row reports
+what an in-network observer *measured* — the telemetry half of item 4.
+
+Determinism mirrors ``cc_reordering``: each cell derives one seed from
+``(params.seed, load, fault)`` — deliberately *not* the engine or the
+routing policy, so all eight (engine × routing) arms of a (load, fault)
+cell face byte-identical workload and fabric randomness — and all
+randomness flows through named ``sim.rng`` streams.  Same seed ⇒
+byte-identical rows, whatever the worker count or result store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.campaign.spec import derive_seed
+from repro.core.config import JugglerConfig
+from repro.core.flush import FlushReason
+from repro.experiments.common import gbps, grid_points
+from repro.fabric.detector import DetectorConfig, ReorderDetector
+from repro.fabric.flowcut import FlowcutRouting
+from repro.fabric.routing import (
+    EcmpRouting,
+    FlowletRouting,
+    PerPacketRouting,
+)
+from repro.fabric.topology import build_clos
+from repro.faults.controller import FaultEngine
+from repro.faults.experiments import gro_factory
+from repro.faults.plan import FaultPlan
+from repro.harness.metrics import percentiles
+from repro.harness.reporting import format_table
+from repro.nic.nic import NicConfig
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.time import MS, US
+from repro.tcp.config import TcpConfig
+from repro.tcp.connection import Connection
+from repro.workloads.rpc import RpcWorkload
+
+#: Load level -> offered load as % of aggregate uplink capacity.
+LOAD_LEVELS: Dict[int, int] = {1: 40, 2: 65, 3: 85}
+
+#: Fault level -> (queue_saturation params, window_us); level 0 is clean.
+#: The fault clamps the tor0→spine0 uplink's buffer, making one path sick
+#: — adaptive policies should shift flowcuts away from it, ECMP cannot.
+FAULT_LEVELS: Dict[int, Optional[tuple]] = {
+    0: None,
+    1: ({"capacity_bytes": 16_000}, 1000),
+    2: ({"capacity_bytes": 6_000}, 1000),
+}
+
+#: Fault-window cadence (µs), matching the resilience matrix.
+_PERIOD_US = 2_000
+
+ROUTINGS = ("ecmp", "per_packet", "flowlet", "flowcut")
+
+
+@dataclass(frozen=True)
+class HostFabricParams:
+    """Sweep configuration."""
+
+    engines: tuple = ("juggler", "standard")
+    routings: tuple = ROUTINGS
+    loads: tuple = (1, 3)
+    faults: tuple = (0, 1)
+    n_tors: int = 2
+    hosts_per_tor: int = 4
+    n_spines: int = 2
+    fabric_gbps: float = 40.0
+    large_rpc_bytes: int = 512_000
+    small_rpc_bytes: int = 150
+    large_pairs: int = 2
+    small_pairs: int = 2
+    sessions_per_pair: int = 2
+    small_load_gbps: float = 0.4
+    queue_capacity_kb: int = 512
+    inseq_timeout_us: int = 13
+    ofo_timeout_us: int = 150
+    detector_budget_bytes: int = 8192
+    detector_heavy_kb: int = 10
+    warmup_ms: int = 4
+    measure_ms: int = 20
+    seed: int = 77
+
+
+@dataclass
+class HostFabricPoint:
+    """One (engine, routing, load, fault) cell."""
+
+    engine: str
+    routing: str
+    load: int
+    fault: int
+    goodput_gbps: float
+    small_p99_us: float
+    small_p50_us: float
+    large_p99_ms: float
+    #: Out-of-order segments the TCP receivers saw — what got *through*
+    #: both the fabric's and the host's defenses.
+    tcp_ooo_segments: int
+    ofo_timeout_flushes: int
+    #: GRO batching extent (MTUs per delivered segment).
+    batching: float
+    #: Max/mean bytes across ToR→spine uplinks (1.0 = perfect balance).
+    uplink_imbalance: float
+    #: Path pinnings created by flowlet/flowcut policies (0 otherwise).
+    pins: int
+    #: Drained re-pins that changed path.
+    moves: int
+    drops: int
+    retx_packets: int
+    #: Reordered data packets the in-network detectors counted.
+    det_reordered: int
+    #: Flows the detectors reported as heavy reorderers.
+    det_heavy: int
+
+
+@dataclass
+class HostFabricResult:
+    """All cells."""
+
+    points: List[HostFabricPoint] = field(default_factory=list)
+
+
+#: Sweep axes in loop-nesting order: (point field, params grid field).
+POINT_AXES = (("engine", "engines"),
+              ("routing", "routings"),
+              ("load", "loads"),
+              ("fault", "faults"))
+
+
+def _policy_factory(routing: str, rngs: RngRegistry, engine: Engine):
+    if routing == "ecmp":
+        return lambda: EcmpRouting()
+    if routing == "per_packet":
+        return lambda: PerPacketRouting(rngs.stream("spray"))
+    if routing == "flowlet":
+        return lambda: FlowletRouting(rngs.stream("flowlet"),
+                                      flowlet_gap_ns=100_000, engine=engine)
+    if routing == "flowcut":
+        return lambda: FlowcutRouting(rngs.stream("flowcut"))
+    raise ValueError(f"unknown routing {routing!r}; known: {ROUTINGS}")
+
+
+def _fault_plan(level: int, *, start_us: int, stop_us: int,
+                seed: int) -> Optional[FaultPlan]:
+    preset = FAULT_LEVELS[level]
+    if preset is None:
+        return None
+    fault_params, window_us = preset
+    repeats = max(1, (stop_us - start_us) // _PERIOD_US)
+    return FaultPlan.from_dict({
+        "name": f"host-vs-fabric-l{level}",
+        "seed": seed,
+        "faults": [{
+            "name": f"uplink-saturation-l{level}",
+            "kind": "queue_saturation",
+            "at_us": start_us,
+            "duration_us": window_us,
+            "every_us": _PERIOD_US,
+            "repeats": repeats,
+            "params": fault_params,
+        }],
+    })
+
+
+def run_point(params: HostFabricParams, *, engine: str, routing: str,
+              load: int, fault: int) -> HostFabricPoint:
+    """One grid cell, independently schedulable (see repro.campaign)."""
+    if load not in LOAD_LEVELS:
+        raise ValueError(f"unknown load level {load!r}; "
+                         f"known: {sorted(LOAD_LEVELS)}")
+    if fault not in FAULT_LEVELS:
+        raise ValueError(f"unknown fault level {fault!r}; "
+                         f"known: {sorted(FAULT_LEVELS)}")
+    # The seed excludes engine and routing: paired arms, identical
+    # randomness (see the module docstring).
+    cell_seed = derive_seed(params.seed, "host_vs_fabric", f"{load}:{fault}")
+    sim = Engine()
+    rngs = RngRegistry(cell_seed)
+    config = JugglerConfig(
+        inseq_timeout=params.inseq_timeout_us * US,
+        ofo_timeout=params.ofo_timeout_us * US,
+    )
+    detector_cfg = DetectorConfig(
+        memory_budget_bytes=params.detector_budget_bytes,
+        heavy_threshold_bytes=params.detector_heavy_kb * 1024,
+    )
+    net = build_clos(
+        sim,
+        gro_factory(engine, config),
+        _policy_factory(routing, rngs, sim),
+        n_tors=params.n_tors,
+        hosts_per_tor=params.hosts_per_tor,
+        n_spines=params.n_spines,
+        host_rate_gbps=params.fabric_gbps,
+        uplink_rate_gbps=params.fabric_gbps,
+        nic_config=NicConfig(num_queues=1, coalesce_ns=30_000,
+                             coalesce_frames=32),
+        queue_capacity_bytes=params.queue_capacity_kb * 1024,
+        detector_factory=lambda: ReorderDetector(detector_cfg),
+    )
+
+    stop_us = (params.warmup_ms + params.measure_ms) * 1_000
+    plan = _fault_plan(fault, start_us=params.warmup_ms * 1_000,
+                       stop_us=stop_us, seed=cell_seed)
+    fault_engine = None
+    if plan is not None:
+        fault_engine = FaultEngine(sim, plan)
+        # The sick path: one specific uplink, same one in every arm.
+        fault_engine.bind(links=[net.uplinks[0][0]])
+        fault_engine.start()
+
+    servers = net.hosts[:params.hosts_per_tor]
+    clients = net.hosts[params.hosts_per_tor:2 * params.hosts_per_tor]
+    uplink_capacity = params.n_spines * params.fabric_gbps
+    total_load = uplink_capacity * LOAD_LEVELS[load] / 100.0
+    large_load = max(total_load - params.small_load_gbps, 0.1)
+    tcp = TcpConfig(rx_buffer=4 << 20)
+
+    def all_to_all(kind_servers, kind_clients, base_port):
+        conns = []
+        for si, server in enumerate(kind_servers):
+            for ci, client in enumerate(kind_clients):
+                for s in range(params.sessions_per_pair):
+                    conns.append(Connection(
+                        sim, server, client,
+                        base_port + (si * 16 + ci) * 8 + s, 80, tcp))
+        return conns
+
+    large_conns = all_to_all(servers[:params.large_pairs],
+                             clients[:params.large_pairs], 30_000)
+    small_conns = all_to_all(
+        servers[params.large_pairs:params.large_pairs + params.small_pairs],
+        clients[params.large_pairs:params.large_pairs + params.small_pairs],
+        40_000)
+
+    large = RpcWorkload(sim, rngs.stream("large"), large_conns,
+                        rpc_bytes=params.large_rpc_bytes,
+                        load_gbps=large_load)
+    small = RpcWorkload(sim, rngs.stream("small"), small_conns,
+                        rpc_bytes=params.small_rpc_bytes,
+                        load_gbps=params.small_load_gbps)
+    large.start()
+    small.start()
+
+    conns = large_conns + small_conns
+    sim.run_until(params.warmup_ms * MS)
+    warmup_cut = sim.now
+    delivered_at_warmup = sum(c.delivered_bytes for c in conns)
+    sim.run_until(stop_us * US)
+
+    delivered = sum(c.delivered_bytes for c in conns) - delivered_at_warmup
+    window_ns = sim.now - warmup_cut
+    large_lat = [r.latency_ns for r in large.records
+                 if r.start_ns >= warmup_cut]
+    small_lat = [r.latency_ns for r in small.records
+                 if r.start_ns >= warmup_cut]
+    (large_p99,) = percentiles(large_lat, (99,))
+    small_p99, small_p50 = percentiles(small_lat, (99, 50))
+
+    ofo_flushes = segments = batched = 0
+    for host in net.hosts:
+        for gro in host.gro_engines:
+            ofo_flushes += gro.stats.flush_reasons.get(
+                FlushReason.OFO_TIMEOUT, 0)
+            segments += gro.stats.segments
+            batched += gro.stats.batched_mtus
+
+    uplink_bytes = [l.stats.bytes for row in net.uplinks for l in row]
+    mean_bytes = sum(uplink_bytes) / len(uplink_bytes)
+    imbalance = (max(uplink_bytes) / mean_bytes) if mean_bytes > 0 else 0.0
+
+    pins = moves = 0
+    for tor in net.tors:
+        policy = tor.policy
+        if isinstance(policy, FlowcutRouting):
+            pins += policy.stats.pins
+            moves += policy.stats.moves
+        elif isinstance(policy, FlowletRouting):
+            pins += policy.flowlets_started
+            moves += policy.flowlets_moved
+
+    # Count every lossy queue: fabric links *and* the ToRs' host-facing
+    # downlinks (finite buffers there drop under incast regardless of
+    # routing policy — without them a cell can show OOO with "0 drops").
+    drops = sum(l.stats.drops
+                for row in net.uplinks + net.downlinks for l in row)
+    drops += sum(l.stats.drops for tor in net.tors
+                 for l in tor.direct_links())
+    det_reordered = sum(d.stats.reordered_packets for d in net.detectors)
+    det_heavy = sum(len(d.heavy_reorderers()) for d in net.detectors)
+
+    return HostFabricPoint(
+        engine=engine,
+        routing=routing,
+        load=load,
+        fault=fault,
+        goodput_gbps=round(gbps(delivered, window_ns), 4),
+        small_p99_us=round(small_p99 / US, 1),
+        small_p50_us=round(small_p50 / US, 1),
+        large_p99_ms=round(large_p99 / MS, 3),
+        tcp_ooo_segments=sum(c.receiver.ooo_segments for c in conns),
+        ofo_timeout_flushes=ofo_flushes,
+        batching=round(batched / segments, 3) if segments else 0.0,
+        uplink_imbalance=round(imbalance, 4),
+        pins=pins,
+        moves=moves,
+        drops=drops,
+        retx_packets=sum(c.sender.retransmitted_packets for c in conns),
+        det_reordered=det_reordered,
+        det_heavy=det_heavy,
+    )
+
+
+def run(params: HostFabricParams = HostFabricParams()) -> HostFabricResult:
+    """Full sweep."""
+    return HostFabricResult(points=[
+        run_point(params, **point)
+        for point in grid_points(POINT_AXES, params)
+    ])
+
+
+def render(result: HostFabricResult) -> str:
+    """The family as one table."""
+    rows = [
+        (p.engine, p.routing, p.load, p.fault, p.goodput_gbps,
+         p.small_p99_us, p.small_p50_us, p.large_p99_ms,
+         p.tcp_ooo_segments, p.ofo_timeout_flushes, p.batching,
+         p.uplink_imbalance, p.pins, p.moves, p.drops, p.retx_packets,
+         p.det_reordered, p.det_heavy)
+        for p in result.points
+    ]
+    return format_table(
+        ["engine", "routing", "load", "fault", "goodput_gbps",
+         "small_p99_us", "small_p50_us", "large_p99_ms", "tcp_ooo",
+         "ofo_flush", "batching", "imbalance", "pins", "moves", "drops",
+         "retx", "det_reord", "det_heavy"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

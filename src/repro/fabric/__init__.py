@@ -16,6 +16,12 @@ from repro.fabric.routing import (
     PerTsoRouting,
     RoutingPolicy,
 )
+from repro.fabric.flowcut import ExitTap, FlowcutRouting, FlowcutStats
+from repro.fabric.detector import (
+    DetectorConfig,
+    DetectorStats,
+    ReorderDetector,
+)
 from repro.fabric.switch import Switch
 from repro.fabric.netfpga import ReorderingSwitch
 from repro.fabric.host import Host
@@ -34,6 +40,12 @@ __all__ = [
     "FlowletRouting",
     "PerPacketRouting",
     "PerTsoRouting",
+    "FlowcutRouting",
+    "FlowcutStats",
+    "ExitTap",
+    "ReorderDetector",
+    "DetectorConfig",
+    "DetectorStats",
     "Switch",
     "ReorderingSwitch",
     "Host",

@@ -1,0 +1,129 @@
+"""``juggler-repro fabric`` — the host-vs-fabric comparison sweep.
+
+::
+
+    juggler-repro fabric sweep                       # full family
+    juggler-repro fabric sweep --gros juggler,standard \\
+        --routings ecmp,per_packet,flowcut --loads 1,3 --faults 0,1 \\
+        --jobs 4 --store fabric.jsonl --json out.json
+
+``sweep`` routes the ``host_vs_fabric`` family (GRO engine × routing
+policy × load × fault intensity) through the campaign scheduler —
+parallel and resumable: re-running with the same ``--store`` skips
+completed cells.  See docs/fabric.md for the model and the column
+vocabulary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.experiments.host_vs_fabric import HostFabricParams
+
+
+def _csv(text: str, cast=str) -> list:
+    return [cast(part.strip()) for part in text.split(",") if part.strip()]
+
+
+def cmd_sweep(argv) -> int:
+    """The host_vs_fabric sweep, via the campaign scheduler."""
+    import tempfile
+
+    from repro.campaign import (
+        CampaignSpec,
+        ExperimentSpec,
+        ResultStore,
+        SchedulerConfig,
+        expand,
+        render_report,
+        run_campaign,
+    )
+
+    defaults = HostFabricParams()
+    parser = argparse.ArgumentParser(
+        prog="juggler-repro fabric sweep",
+        description="Sweep GRO engine x routing policy x load x fault "
+                    "intensity on the Clos fabric; parallel and resumable "
+                    "via repro.campaign.",
+    )
+    parser.add_argument("--gros", default=",".join(defaults.engines),
+                        help="comma-separated GRO engines "
+                             "(juggler, standard)")
+    parser.add_argument("--routings", default=",".join(defaults.routings),
+                        help="comma-separated routing policies "
+                             "(ecmp, per_packet, flowlet, flowcut)")
+    parser.add_argument("--loads",
+                        default=",".join(map(str, defaults.loads)),
+                        help="comma-separated load levels (1..3)")
+    parser.add_argument("--faults",
+                        default=",".join(map(str, defaults.faults)),
+                        help="comma-separated fault levels (0..2)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="campaign root seed (default: the experiment's "
+                             "baked-in seed)")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="result JSONL; reuse to resume (default: temp)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a JSON summary here")
+    args = parser.parse_args(argv)
+
+    grid = {
+        "engine": _csv(args.gros),
+        "routing": _csv(args.routings),
+        "load": _csv(args.loads, int),
+        "fault": _csv(args.faults, int),
+    }
+    spec = CampaignSpec(
+        name="host-vs-fabric",
+        experiments=(ExperimentSpec("host_vs_fabric", grid=grid),),
+        seed=args.seed,
+    )
+    try:
+        tasks = expand(spec)
+    except (KeyError, ValueError) as exc:
+        print(f"bad sweep selection: {exc}", file=sys.stderr)
+        return 2
+
+    store_path = args.store
+    if store_path is None:
+        fd, store_path = tempfile.mkstemp(prefix="juggler_fabric_",
+                                          suffix=".jsonl")
+        os.close(fd)
+    store = ResultStore(store_path)
+    print(f"host-vs-fabric sweep: {len(tasks)} cell(s), "
+          f"{args.jobs} worker(s); results -> {store_path}")
+    stats = run_campaign(tasks, store, SchedulerConfig(jobs=max(1, args.jobs)),
+                         progress=print)
+    print(stats.summary_line(spec.name))
+    print()
+    print(render_report(store.load(), spec))
+    if args.json:
+        payload = {
+            "spec": spec.to_dict(),
+            "planned": stats.planned,
+            "skipped": stats.skipped,
+            "failed": stats.failed,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"summary written to {args.json}")
+    return 0 if stats.failed == 0 else 1
+
+
+def main(argv) -> int:
+    """``juggler-repro fabric`` dispatcher."""
+    if argv and argv[0] == "sweep":
+        return cmd_sweep(argv[1:])
+    print("usage: juggler-repro fabric sweep [options]\n"
+          "  sweep  GRO engine x routing policy x load x fault intensity\n"
+          "see docs/fabric.md", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

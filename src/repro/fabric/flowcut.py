@@ -1,0 +1,275 @@
+"""Flowcut switching — adaptive load balancing that cannot reorder.
+
+Flowlet switching (:class:`~repro.fabric.routing.FlowletRouting`) re-routes
+a flow whenever an idle gap *probably* exceeds the path-delay skew; under
+congestion the skew grows past the gap and packets reorder anyway.  Flowcut
+switching (Bonato et al., "Flowcut Switching", arXiv:2506.21406) makes the
+condition exact: a *flowcut* is the maximal run of a flow's packets pinned
+to one path, and the switch may start a new flowcut on a different path
+only once **no packet of the previous flowcut remains in the divergent
+path segment**.  Every packet then either follows its predecessor on the
+same FIFO path or departs after the predecessor has already exited the
+divergence — in-order delivery by construction, not by heuristic.
+
+In the two-stage Clos of :func:`~repro.fabric.topology.build_clos` the
+divergent segment is exactly "source-ToR uplink → spine → destination-ToR
+downlink": paths fork at the source ToR's uplink choice and reconverge
+where the spine's downlink terminates at the destination ToR, and every
+link is a FIFO.  So the drain condition is countable: :meth:`choose`
+increments a per-flowcut in-flight counter at the fork, and an
+:class:`ExitTap` wrapped around each spine→ToR downlink decrements it at
+the reconvergence point.  ``inflight == 0`` *is* the drain proof.
+
+Switches that cannot see the reconvergence point (no taps wired) fall back
+to a conservative time-based drain — behaviourally a flowlet policy with a
+congestion-aware path picker — so the class degrades gracefully outside
+:func:`build_clos`.
+
+State is hardware-plausible: a bounded table (drained entries evicted
+LRU-ish, never live ones), and a stable-hash fallback when the table is
+full — an overflowed flow simply behaves like ECMP, which is still
+per-flow in-order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.fabric.link import PacketSink, QueuedLink
+from repro.fabric.routing import RoutingPolicy
+from repro.net.packet import Packet
+from repro.trace import runtime as trace_runtime
+
+#: Entries examined per insert when hunting a drained eviction victim.
+#: Bounded like a real switch's pipelined table walk; misses fall back to
+#: the stable hash rather than stalling on an unbounded scan.
+_EVICT_SCAN = 8
+
+
+class _Flowcut:
+    """One table entry: the pinned port and the drain bookkeeping."""
+
+    __slots__ = ("port", "last_ns", "inflight")
+
+    def __init__(self, port: int, last_ns: int):
+        self.port = port
+        self.last_ns = last_ns
+        #: Packets chosen onto the divergent segment and not yet exited
+        #: (only maintained in exact-drain mode).
+        self.inflight = 0
+
+
+@dataclass
+class FlowcutStats:
+    """Per-policy counters (one policy instance per switch)."""
+
+    #: New flowcuts pinned (first packet of a flow, or after eviction).
+    pins: int = 0
+    #: Drained flowcuts re-pinned to a *different* uplink.
+    moves: int = 0
+    #: Drained entries evicted to admit new flows.
+    evictions: int = 0
+    #: Packets routed by the stable-hash fallback because the table was
+    #: full of live flowcuts.
+    overflows: int = 0
+    #: Exit-tap notifications received (exact-drain mode only).
+    exits: int = 0
+    #: Re-pins forced by the failsafe timer (implies packets were lost —
+    #: nonzero only under faults; the in-order proof stands regardless,
+    #: because dropped packets cannot arrive out of order).
+    failsafe_drains: int = 0
+
+
+class FlowcutRouting(RoutingPolicy):
+    """Pin each flowcut to the least-loaded uplink; move only when drained.
+
+    Drain detection has two modes:
+
+    * **exact** (after :meth:`track_inflight`, wired automatically by
+      :func:`~repro.fabric.topology.build_clos`): a flowcut is drained when
+      its in-flight count — incremented per :meth:`choose`, decremented by
+      the destination ToR's :class:`ExitTap` — reaches zero.  This is the
+      provable in-order mode the property tests pin.
+    * **time-based** (standalone): drained after ``drain_ns`` of idleness,
+      i.e. flowlet semantics with a deliberately conservative gap.
+
+    ``failsafe_drain_ns`` guards exact mode against dropped packets, whose
+    exits never arrive: a flowcut idle that long is declared drained and
+    its counter reset.  Lost packets cannot be overtaken, so the guarantee
+    survives; the event is counted in ``stats.failsafe_drains``.
+
+    Path choice is congestion-aware when :meth:`bind_links` has been called
+    (the :class:`~repro.fabric.switch.Switch` does this as uplinks are
+    added): least ``queued_bytes`` wins, ties broken by the seeded rng.
+    """
+
+    wants_time = True
+
+    def __init__(
+        self,
+        rng: random.Random,
+        *,
+        table_capacity: int = 1024,
+        drain_ns: int = 500_000,
+        failsafe_drain_ns: int = 5_000_000,
+        salt: int = 0xF10C,
+    ):
+        if table_capacity < 1:
+            raise ValueError(
+                f"flowcut table needs >= 1 entry, got {table_capacity}")
+        if drain_ns < 0:
+            raise ValueError(f"drain_ns must be >= 0, got {drain_ns}")
+        if failsafe_drain_ns < drain_ns:
+            raise ValueError(
+                f"failsafe_drain_ns ({failsafe_drain_ns}) must be >= "
+                f"drain_ns ({drain_ns})")
+        self._rng = rng
+        self.table_capacity = table_capacity
+        self.drain_ns = drain_ns
+        self.failsafe_drain_ns = failsafe_drain_ns
+        self.salt = salt
+        self._table: dict = {}
+        self._links: Optional[List[QueuedLink]] = None
+        self._exact = False
+        self._now = 0
+        self.stats = FlowcutStats()
+        self.tracer = trace_runtime.current()
+
+    # -- wiring ---------------------------------------------------------------
+
+    def bind_links(self, links: List[QueuedLink]) -> None:
+        """Give the policy sight of its uplinks' queue depths."""
+        self._links = links
+
+    def track_inflight(self) -> None:
+        """Switch to exact drain detection (exit taps are wired)."""
+        self._exact = True
+
+    def observe(self, now: int) -> None:
+        """Supply the current simulation time (called by the switch)."""
+        self._now = now
+
+    # -- routing --------------------------------------------------------------
+
+    def choose(self, packet: Packet, nports: int) -> int:
+        now = self._now
+        flow = packet.flow
+        entry = self._table.get(flow)
+        if entry is not None:
+            if self._drained(entry, now):
+                port = self._best_port(nports)
+                if port != entry.port:
+                    self.stats.moves += 1
+                    if self.tracer is not None:
+                        self.tracer.flowcut_move(now, flow, "flowcut",
+                                                 entry.port, port)
+                    entry.port = port
+                entry.inflight = 0
+            entry.last_ns = now
+            if self._exact:
+                entry.inflight += 1
+            return entry.port
+
+        if len(self._table) >= self.table_capacity and not self._evict():
+            # Table full of live flowcuts: stable hash, still in-order.
+            self.stats.overflows += 1
+            return self._mix(hash(flow), self.salt) % nports
+
+        port = self._best_port(nports)
+        entry = _Flowcut(port, now)
+        if self._exact:
+            entry.inflight = 1
+        self._table[flow] = entry
+        self.stats.pins += 1
+        if self.tracer is not None:
+            self.tracer.flowcut_pin(now, flow, "flowcut", port)
+        return port
+
+    def packet_exited(self, flow) -> None:
+        """A packet of ``flow`` left the divergent segment (exit tap)."""
+        self.stats.exits += 1
+        entry = self._table.get(flow)
+        if entry is not None and entry.inflight > 0:
+            entry.inflight -= 1
+
+    # -- internals ------------------------------------------------------------
+
+    def _drained(self, entry: _Flowcut, now: int) -> bool:
+        if self._exact:
+            if entry.inflight == 0:
+                return True
+            if now - entry.last_ns > self.failsafe_drain_ns:
+                self.stats.failsafe_drains += 1
+                return True
+            return False
+        return now - entry.last_ns > self.drain_ns
+
+    def _best_port(self, nports: int) -> int:
+        links = self._links
+        if links is None or len(links) < nports:
+            return self._rng.randrange(nports)
+        best = min(links[p].queued_bytes for p in range(nports))
+        candidates = [p for p in range(nports)
+                      if links[p].queued_bytes == best]
+        if len(candidates) == 1:
+            return candidates[0]
+        return candidates[self._rng.randrange(len(candidates))]
+
+    def _evict(self) -> bool:
+        """Evict one drained entry (bounded scan); False if none found."""
+        now = self._now
+        victim = None
+        for i, (flow, entry) in enumerate(self._table.items()):
+            if i >= _EVICT_SCAN:
+                break
+            if self._drained(entry, now):
+                victim = flow
+                break
+        if victim is None:
+            return False
+        del self._table[victim]
+        self.stats.evictions += 1
+        return True
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def active(self) -> int:
+        """Flowcut entries currently in the table."""
+        return len(self._table)
+
+    def port_of(self, flow) -> Optional[int]:
+        """The flow's pinned uplink, or None if untracked."""
+        entry = self._table.get(flow)
+        return None if entry is None else entry.port
+
+    def inflight_of(self, flow) -> int:
+        """The flow's current in-flight count (0 if untracked)."""
+        entry = self._table.get(flow)
+        return 0 if entry is None else entry.inflight
+
+
+class ExitTap:
+    """Decrements flowcut in-flight counts at the path reconvergence point.
+
+    Wraps the sink of a spine→ToR downlink (the destination ToR itself):
+    every packet arriving there has fully left the divergent segment, so
+    its *source* ToR's flowcut may be told about the exit before the packet
+    is forwarded on.  ``resolve`` maps a packet to the policy that pinned
+    it (or None for locally-switched traffic that never forked).
+    """
+
+    __slots__ = ("_sink", "_resolve")
+
+    def __init__(self, sink: PacketSink,
+                 resolve: Callable[[Packet], Optional[FlowcutRouting]]):
+        self._sink = sink
+        self._resolve = resolve
+
+    def receive(self, packet: Packet) -> None:
+        policy = self._resolve(packet)
+        if policy is not None:
+            policy.packet_exited(packet.flow)
+        self._sink.receive(packet)

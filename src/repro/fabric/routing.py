@@ -16,6 +16,7 @@ import random
 from typing import Optional
 
 from repro.net.packet import Packet
+from repro.trace import runtime as trace_runtime
 
 
 class RoutingPolicy(abc.ABC):
@@ -79,35 +80,58 @@ class FlowletRouting(RoutingPolicy):
     so that it "eliminate[s] almost all packet reordering seen at the
     end-host" without a resilient stack.
 
-    Needs a clock: the switch passes arrival times via :meth:`observe`
-    before :meth:`choose` (our :class:`~repro.fabric.switch.Switch` does
-    this automatically when the policy exposes ``wants_time``).
+    Needs a clock: pass the simulation ``engine`` so gap detection reads
+    ``sim.time`` directly, or rely on the switch calling :meth:`observe`
+    with arrival times (our :class:`~repro.fabric.switch.Switch` does this
+    automatically when the policy exposes ``wants_time``).  Both paths see
+    the same engine clock; the explicit ``engine`` makes the policy safe
+    to use outside a switch too.
+
+    Emits the same ``flowcut_pin`` / ``flowcut_move`` trace events as
+    :class:`~repro.fabric.flowcut.FlowcutRouting` (with
+    ``policy="flowlet"``), so the two arms of the fabric comparison read
+    identically in traces (see docs/fabric.md).
     """
 
     wants_time = True
 
-    def __init__(self, rng: random.Random, flowlet_gap_ns: int = 100_000):
+    def __init__(self, rng: random.Random, flowlet_gap_ns: int = 100_000,
+                 *, engine=None):
         if flowlet_gap_ns < 0:
             raise ValueError(f"flowlet gap must be >= 0, got {flowlet_gap_ns}")
         self._rng = rng
         self.flowlet_gap_ns = flowlet_gap_ns
+        #: Optional engine; when set, :meth:`choose` reads its clock
+        #: directly instead of depending on an ``observe`` call.
+        self._engine = engine
         #: flow -> (current port, last packet time)
         self._state: dict = {}
         self._now = 0
         self.flowlets_started = 0
+        #: Flowlet boundaries that actually changed uplink.
+        self.flowlets_moved = 0
+        self.tracer = trace_runtime.current()
 
     def observe(self, now: int) -> None:
         """Supply the current time for gap detection."""
         self._now = now
 
     def choose(self, packet: Packet, nports: int) -> int:
+        now = self._engine.now if self._engine is not None else self._now
         entry = self._state.get(packet.flow)
         if entry is not None:
             port, last = entry
-            if self._now - last <= self.flowlet_gap_ns:
-                self._state[packet.flow] = (port, self._now)
+            if now - last <= self.flowlet_gap_ns:
+                self._state[packet.flow] = (port, now)
                 return port
         port = self._rng.randrange(nports)
-        self._state[packet.flow] = (port, self._now)
+        self._state[packet.flow] = (port, now)
         self.flowlets_started += 1
+        if entry is not None and port != entry[0]:
+            self.flowlets_moved += 1
+            if self.tracer is not None:
+                self.tracer.flowcut_move(now, packet.flow, "flowlet",
+                                         entry[0], port)
+        elif entry is None and self.tracer is not None:
+            self.tracer.flowcut_pin(now, packet.flow, "flowlet", port)
         return port

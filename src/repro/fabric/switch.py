@@ -23,10 +23,13 @@ class Switch:
                  engine=None):
         self.name = name
         self.policy: RoutingPolicy = policy if policy is not None else EcmpRouting()
-        #: Needed only by time-aware policies (flowlet switching).
+        #: Needed only by time-aware policies (flowlet/flowcut switching).
         self.engine = engine
         self._direct: Dict[int, QueuedLink] = {}
         self.uplinks: List[QueuedLink] = []
+        #: Optional reordering telemetry on the host-bound path
+        #: (see repro.fabric.detector); None costs nothing per packet.
+        self.detector = None
         #: Packets with no matching route (should stay zero in experiments).
         self.unroutable = 0
 
@@ -35,13 +38,31 @@ class Switch:
         self._direct[dst] = link
 
     def add_uplink(self, link: QueuedLink) -> None:
-        """Register a load-balanced uplink for non-local destinations."""
+        """Register a load-balanced uplink for non-local destinations.
+
+        Congestion-aware policies (flowcut switching) get sight of the
+        uplink queues via ``bind_links`` as they are registered.
+        """
         self.uplinks.append(link)
+        bind = getattr(self.policy, "bind_links", None)
+        if bind is not None:
+            bind(self.uplinks)
+
+    def attach_detector(self, detector) -> None:
+        """Observe host-bound data packets with a reordering detector."""
+        self.detector = detector
+
+    def direct_links(self) -> List[QueuedLink]:
+        """The registered direct (host-facing) links, in route order."""
+        return list(self._direct.values())
 
     def receive(self, packet: Packet) -> None:
         """Forward one packet."""
         direct = self._direct.get(packet.flow.dst)
         if direct is not None:
+            if self.detector is not None and packet.payload_len > 0:
+                self.detector.observe(packet.flow, packet.seq,
+                                      packet.end_seq, packet.payload_len)
             direct.enqueue(packet)
             return
         if not self.uplinks:

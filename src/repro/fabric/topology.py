@@ -14,6 +14,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro.fabric.flowcut import ExitTap
 from repro.fabric.host import Host
 from repro.fabric.link import QueuedLink
 from repro.fabric.netfpga import ReorderingSwitch
@@ -217,6 +218,9 @@ class ClosNetwork:
     uplinks: List[List[QueuedLink]] = field(default_factory=list)
     #: spine→ToR links, indexed [spine][tor].
     downlinks: List[List[QueuedLink]] = field(default_factory=list)
+    #: Per-ToR reordering detectors when a detector_factory was supplied
+    #: (see repro.fabric.detector); empty otherwise.
+    detectors: List = field(default_factory=list)
 
     def hosts_of_tor(self, tor_index: int, hosts_per_tor: int) -> List[Host]:
         """The hosts attached to one ToR."""
@@ -243,6 +247,7 @@ def build_clos(
     nic_config: Optional[NicConfig] = None,
     queue_capacity_bytes: Optional[int] = None,
     ecn_threshold_bytes: Optional[int] = None,
+    detector_factory: Optional[Callable] = None,
 ) -> ClosNetwork:
     """Build hosts ↔ ToRs ↔ spines with one uplink per (ToR, spine) pair.
 
@@ -250,10 +255,48 @@ def build_clos(
     load-balances non-local traffic over its spine uplinks using a fresh
     policy from ``policy_factory`` — swap in ECMP / per-TSO / per-packet to
     reproduce the Figure 20 comparison.
+
+    Two fabric-side extensions wire themselves in automatically:
+
+    * If the ToR policies are flowcut policies (they expose
+      ``packet_exited``), every spine→ToR downlink terminates in an
+      :class:`~repro.fabric.flowcut.ExitTap` that notifies the *source*
+      ToR's policy at the path reconvergence point, and the policies are
+      switched to exact in-flight drain detection — the configuration
+      whose in-order delivery the property tests prove.
+    * If ``detector_factory`` is given, each ToR gets a fresh reordering
+      detector (see :mod:`repro.fabric.detector`) observing its host-bound
+      data packets; they are returned in ``ClosNetwork.detectors`` in ToR
+      order.
     """
     tors = [Switch(f"tor{t}", policy=policy_factory(), engine=engine)
             for t in range(n_tors)]
     spines = [Switch(f"spine{s}") for s in range(n_spines)]
+
+    detectors: List = []
+    if detector_factory is not None:
+        for tor in tors:
+            detector = detector_factory()
+            tor.attach_detector(detector)
+            detectors.append(detector)
+
+    # Flowcut policies need exit notifications from the reconvergence
+    # point; map a packet back to its source ToR's policy by host id.
+    exact_policies = [
+        tor.policy if hasattr(tor.policy, "packet_exited") else None
+        for tor in tors
+    ]
+    wire_taps = any(p is not None for p in exact_policies)
+    if wire_taps:
+        for policy in exact_policies:
+            if policy is not None:
+                policy.track_inflight()
+
+    def _resolve(packet, _policies=exact_policies, _hpt=hosts_per_tor):
+        src_tor = packet.flow.src // _hpt
+        if 0 <= src_tor < len(_policies):
+            return _policies[src_tor]
+        return None
 
     hosts: List[Host] = []
     for t, tor in enumerate(tors):
@@ -289,7 +332,8 @@ def build_clos(
     for s, spine in enumerate(spines):
         row = []
         for t, tor in enumerate(tors):
-            link = QueuedLink(engine, uplink_rate_gbps, tor,
+            sink = ExitTap(tor, _resolve) if wire_taps else tor
+            link = QueuedLink(engine, uplink_rate_gbps, sink,
                               capacity_bytes=queue_capacity_bytes,
                               ecn_threshold_bytes=ecn_threshold_bytes,
                               name=f"spine{s}-tor{t}")
@@ -298,4 +342,4 @@ def build_clos(
             row.append(link)
         downlinks.append(row)
 
-    return ClosNetwork(hosts, tors, spines, uplinks, downlinks)
+    return ClosNetwork(hosts, tors, spines, uplinks, downlinks, detectors)

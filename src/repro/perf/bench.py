@@ -19,9 +19,12 @@ from repro.cc.rtt import RttEstimator
 from repro.core.config import JugglerConfig
 from repro.core.juggler import JugglerGRO
 from repro.core.standard_gro import StandardGRO
+from repro.fabric.detector import DetectorConfig, ReorderDetector
+from repro.fabric.flowcut import FlowcutRouting
 from repro.net.addr import FiveTuple
 from repro.perf import workloads
 from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
 from repro.sim.timer import Timer
 from repro.steer import FlowDirectorConfig, FlowDirectorSteering, RssSteering
 from repro.tcp.config import TcpConfig
@@ -205,6 +208,40 @@ def _bench_flow_director_churn() -> tuple:
     return items, elapsed
 
 
+# -- fabric benches -----------------------------------------------------------
+
+_FABRIC_FLOWS = 256
+_FABRIC_LOOKUPS = 200_000
+_DETECTOR_PKTS_PER_FLOW = 400
+
+
+def _bench_flowcut_route() -> tuple:
+    flows = [FiveTuple(1 + (i % 16), 99, 10_000 + i, 80)
+             for i in range(_FABRIC_FLOWS)]
+    policy = FlowcutRouting(RngRegistry(7).stream("flowcut"),
+                            table_capacity=_FABRIC_FLOWS)
+
+    def work() -> int:
+        workloads.flowcut_route_churn(policy, flows, _FABRIC_LOOKUPS)
+        return _FABRIC_LOOKUPS
+    items, elapsed = _timed_rate(work)
+    assert policy.stats.pins > 0 and policy.stats.exits > 0
+    return items, elapsed
+
+
+def _bench_detector_update() -> tuple:
+    packets = workloads.reordered_stream(workloads.MANY_FLOWS,
+                                         _DETECTOR_PKTS_PER_FLOW)
+    detector = ReorderDetector(DetectorConfig())
+
+    def work() -> int:
+        return workloads.detector_update_churn(detector, packets)
+    items, elapsed = _timed_rate(work)
+    assert detector.stats.packets == len(packets)
+    assert detector.stats.reordered_packets > 0
+    return items, elapsed
+
+
 # -- congestion-control benches -----------------------------------------------
 
 _CC_ACKS = 200_000
@@ -307,6 +344,16 @@ BENCHES: Dict[str, BenchSpec] = {
             _bench_flow_director_churn,
             "Flow Director lookups under periodic rebalance churn "
             "(installs + migrations + signature evictions)"),
+        BenchSpec(
+            "fabric.flowcut_route", "routes/s", True,
+            _bench_flowcut_route,
+            "flowcut choose/exit churn over 256 flows, exact drain, "
+            "pin + move lifecycle per burst"),
+        BenchSpec(
+            "fabric.detector_update", "pkts/s", True,
+            _bench_detector_update,
+            "sketch detector observe per packet over a reordered "
+            "256-flow stream at the default memory budget"),
         BenchSpec(
             "cc.reno_ack_path", "acks/s", True,
             _bench_cc_reno_ack_path,

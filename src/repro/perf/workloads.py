@@ -250,3 +250,62 @@ def timer_rearm_churn(engine_cls, timer_cls, n_timers: int,
     engine.schedule(0, poll, 0)
     engine.run()
     return fires[0]
+
+
+class _RouteProbe:
+    """The minimal packet shape a routing policy inspects (a flow key)."""
+
+    __slots__ = ("flow",)
+
+    def __init__(self, flow: FiveTuple):
+        self.flow = flow
+
+
+def flowcut_route_churn(policy, flows: List[FiveTuple], lookups: int,
+                        *, nports: int = 4, burst: int = 16,
+                        gap_ns: int = 2_000) -> int:
+    """The flowcut fast path under pin/drain/move churn.
+
+    Exact-drain mode, no exit taps needed: each flow sends a ``burst`` of
+    back-to-back packets, then every packet of the burst exits — so the
+    next burst of that flow finds its flowcut drained and eligible to
+    move.  One iteration exercises the full entry lifecycle (table hit,
+    in-flight accounting, drain check, re-pin) rather than settling into
+    pure dictionary hits.  Returns a checksum of the chosen ports so the
+    loop cannot be optimised away.
+    """
+    policy.track_inflight()
+    probes = [_RouteProbe(f) for f in flows]
+    n_flows = len(probes)
+    choose = policy.choose
+    exited = policy.packet_exited
+    observe = policy.observe
+    now = 0
+    acc = 0
+    done = 0
+    i = 0
+    while done < lookups:
+        probe = probes[i % n_flows]
+        i += 1
+        observe(now)
+        for _ in range(burst):
+            acc += choose(probe, nports)
+        flow = probe.flow
+        for _ in range(burst):
+            exited(flow)
+        now += gap_ns
+        done += burst
+    return acc
+
+
+def detector_update_churn(detector, packets: List[Packet]) -> int:
+    """The detector's per-packet path over a reordered stream.
+
+    One ``observe`` per packet of a :func:`reordered_stream` — table hits,
+    watermark updates, and (for the reordered fraction) sketch updates.
+    Returns the packet count.
+    """
+    observe = detector.observe
+    for p in packets:
+        observe(p.flow, p.seq, p.end_seq, p.payload_len)
+    return len(packets)

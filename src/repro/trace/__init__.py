@@ -15,7 +15,11 @@ The pieces (see docs/observability.md for the full catalog):
   without rewiring it.
 
 This package depends on nothing else in ``repro`` — the core stays a pure
-algorithm, and tracing stays importable from every layer.
+algorithm, and tracing stays importable from every layer.  (The one
+exception is the leaf submodule :mod:`repro.trace.groundtruth`, the exact
+reordering oracle used to grade the fabric detector; it reuses the
+harness's RFC 4737 metrics and is therefore imported explicitly, never
+from this ``__init__``.)
 """
 
 from repro.trace.events import (
@@ -23,6 +27,8 @@ from repro.trace.events import (
     CcStateChange,
     EventKind,
     Eviction,
+    FlowcutMove,
+    FlowcutPin,
     Flush,
     Merge,
     OwnershipTransfer,
@@ -67,6 +73,8 @@ __all__ = [
     "CcStateChange",
     "CcRecovery",
     "OwnershipTransfer",
+    "FlowcutPin",
+    "FlowcutMove",
     "Counter",
     "Gauge",
     "HistogramMetric",

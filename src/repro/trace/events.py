@@ -48,6 +48,10 @@ class EventKind(enum.Enum):
     CC_RECOVERY = "cc_recovery"
     #: An object changed ownership domain at a rendezvous point (OSAN).
     OWNERSHIP_TRANSFER = "ownership_transfer"
+    #: A switch pinned a new flowcut/flowlet to an uplink (repro.fabric).
+    FLOWCUT_PIN = "flowcut_pin"
+    #: A drained flowcut/flowlet re-pinned to a different uplink.
+    FLOWCUT_MOVE = "flowcut_move"
 
 
 def _plain(value: Any) -> Any:
@@ -216,6 +220,40 @@ class OwnershipTransfer(TraceEvent):
     old_domain: Optional[str]
     new_domain: Optional[str]
     point: str
+
+
+@dataclass(frozen=True, slots=True)
+class FlowcutPin(TraceEvent):
+    """A switch created fresh path state for ``flow`` on uplink ``port``.
+
+    ``policy`` names the granularity that pinned it (``flowcut`` or
+    ``flowlet``) so the two arms of the fabric comparison share one event
+    vocabulary (see docs/fabric.md).
+    """
+
+    kind: ClassVar[EventKind] = EventKind.FLOWCUT_PIN
+
+    flow: Any
+    policy: str
+    port: int
+
+
+@dataclass(frozen=True, slots=True)
+class FlowcutMove(TraceEvent):
+    """A drained flowcut/flowlet of ``flow`` changed uplink.
+
+    For flowcut switching this happens only once no packet of the previous
+    flowcut is still in the divergent path segment, so the move cannot
+    reorder; for flowlet switching the gap heuristic makes it merely
+    *unlikely* to reorder — the difference the fabric sweep measures.
+    """
+
+    kind: ClassVar[EventKind] = EventKind.FLOWCUT_MOVE
+
+    flow: Any
+    policy: str
+    old_port: int
+    new_port: int
 
 
 @dataclass(frozen=True, slots=True)

@@ -1,0 +1,139 @@
+"""Exact per-flow reordering ground truth, computed from trace events.
+
+The data-plane detector (:mod:`repro.fabric.detector`) measures TCP
+reordering under a *bounded* memory budget — compact flow slots that
+collide and evict, a count-min sketch that over-counts.  Asserting its
+precision and recall needs an oracle with none of those limits: this sink
+consumes the ``packet_rx`` events the receive path already emits and keeps
+*complete* per-flow state, so every displacement and every reordered byte
+is counted exactly.
+
+The observation points line up by construction: a detector attached to the
+egress ToR sees a flow's packets in the same order the destination host's
+GRO path sees them (the host-facing downlink is a FIFO), and the GRO path
+emits one ``packet_rx`` event per data packet.  Feed the tracer through a
+:class:`GroundTruthSink` and the sink's per-flow truth is directly
+comparable with the detector's sketch-bounded answer — which is how the
+detector suite asserts ≥0.9 precision/recall instead of eyeballing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.harness.reorder_metrics import ReorderObserver, ReorderStats
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.sinks import Sink
+
+
+@dataclass
+class FlowTruth:
+    """Exact reordering totals for one flow."""
+
+    packets: int = 0
+    #: Packets that arrived after a later-sequenced byte had already
+    #: arrived (RFC 4737 Type-P-Reordered).
+    reordered_packets: int = 0
+    #: Payload bytes carried by those late packets — the quantity the
+    #: detector's heavy-reorderer sketch estimates.
+    reordered_bytes: int = 0
+    #: Highest end_seq seen so far (the late/early watermark).
+    max_end_seq: int = -1
+
+
+class GroundTruthSink(Sink):
+    """Per-flow reordering oracle over ``packet_rx`` events.
+
+    Ignores every other event kind and (by default) zero-payload packets —
+    pure ACKs are not data reordering, and the detector skips them too.
+    Memory is unbounded by design: this is the truth the bounded detector
+    is graded against, not something a switch could run.
+    """
+
+    def __init__(self, *, min_payload: int = 1):
+        self.min_payload = min_payload
+        self._truth: Dict[object, FlowTruth] = {}
+        self._observers: Dict[object, ReorderObserver] = {}
+
+    # -- sink interface -------------------------------------------------------
+
+    def emit(self, event: TraceEvent) -> None:
+        if event.kind is not EventKind.PACKET_RX:
+            return
+        payload = event.payload_len
+        if payload < self.min_payload:
+            return
+        self.observe(event.flow, event.seq, event.end_seq, event.ts,
+                     payload)
+
+    # -- direct observation (for harnesses that bypass the tracer) ------------
+
+    def observe(self, flow, seq: int, end_seq: int, now: int,
+                payload_len: int) -> None:
+        """Record one data-packet arrival."""
+        truth = self._truth.get(flow)
+        if truth is None:
+            truth = self._truth[flow] = FlowTruth()
+            self._observers[flow] = ReorderObserver()
+        truth.packets += 1
+        if seq < truth.max_end_seq:
+            truth.reordered_packets += 1
+            truth.reordered_bytes += payload_len
+        if end_seq > truth.max_end_seq:
+            truth.max_end_seq = end_seq
+        self._observers[flow].observe(seq, now)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def flows(self) -> int:
+        """Distinct flows observed."""
+        return len(self._truth)
+
+    def per_flow(self) -> Dict[object, FlowTruth]:
+        """The exact totals, keyed by flow."""
+        return dict(self._truth)
+
+    def flow_stats(self, flow) -> ReorderStats:
+        """Full RFC 4737-style metrics (displacement, reorder delay) for
+        one flow's complete arrival record."""
+        observer = self._observers.get(flow)
+        if observer is None:
+            return ReorderStats(0, 0, 0, 0.0, 0, 0.0)
+        return observer.stats()
+
+    def heavy_reorderers(self, min_bytes: int) -> Set[object]:
+        """Flows whose exact reordered-byte count reaches ``min_bytes`` —
+        the set the detector's sketch answer is graded against."""
+        return {flow for flow, t in self._truth.items()
+                if t.reordered_bytes >= min_bytes}
+
+    def totals(self) -> Tuple[int, int, int]:
+        """(packets, reordered_packets, reordered_bytes) across all flows."""
+        packets = reordered = rbytes = 0
+        for t in self._truth.values():
+            packets += t.packets
+            reordered += t.reordered_packets
+            rbytes += t.reordered_bytes
+        return packets, reordered, rbytes
+
+    def rows(self) -> List[Tuple[str, int, int, int]]:
+        """Sorted (flow, packets, reordered, bytes) rows for reports."""
+        return sorted(
+            (str(flow), t.packets, t.reordered_packets, t.reordered_bytes)
+            for flow, t in self._truth.items()
+        )
+
+
+def grade(predicted: Set[object], actual: Set[object]) -> Tuple[float, float]:
+    """(precision, recall) of a predicted heavy-reorderer set.
+
+    Degenerate cases follow the usual convention: with nothing predicted,
+    precision is 1.0 (no false positives); with nothing actual, recall is
+    1.0 (nothing to miss).
+    """
+    true_pos = len(predicted & actual)
+    precision = true_pos / len(predicted) if predicted else 1.0
+    recall = true_pos / len(actual) if actual else 1.0
+    return precision, recall

@@ -31,6 +31,8 @@ from repro.trace.events import (
     Eviction,
     FaultCleared,
     FaultInjected,
+    FlowcutMove,
+    FlowcutPin,
     Flush,
     Merge,
     OwnershipTransfer,
@@ -190,6 +192,18 @@ class Tracer:
         if self.wants(EventKind.OWNERSHIP_TRANSFER):
             self.emit(OwnershipTransfer(self._stamp(now), obj_kind,
                                         old_domain, new_domain, point))
+
+    def flowcut_pin(self, now: int, flow, policy: str, port: int) -> None:
+        """A switch pinned a new flowcut/flowlet to an uplink."""
+        if self.wants(EventKind.FLOWCUT_PIN):
+            self.emit(FlowcutPin(self._stamp(now), flow, policy, port))
+
+    def flowcut_move(self, now: int, flow, policy: str, old_port: int,
+                     new_port: int) -> None:
+        """A drained flowcut/flowlet re-pinned to a different uplink."""
+        if self.wants(EventKind.FLOWCUT_MOVE):
+            self.emit(FlowcutMove(self._stamp(now), flow, policy, old_port,
+                                  new_port))
 
     def cc_state(self, now: int, flow, algo: str, old_state: str,
                  new_state: str, cwnd: int,

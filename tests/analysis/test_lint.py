@@ -209,6 +209,10 @@ def test_new_rules_accept_justified_pragmas():
 
 def test_policy_resolution():
     assert policy_for("src/repro/core/juggler.py") is STRICT
+    # The fabric (flowcut tables, the reordering detector) carries the
+    # in-order proof and the sketch determinism: STRICT, pinned here.
+    assert policy_for("src/repro/fabric/flowcut.py") is STRICT
+    assert policy_for("src/repro/fabric/detector.py") is STRICT
     assert policy_for("src/repro/experiments/common.py") is STANDARD
     assert policy_for("src/repro/campaign/scheduler.py") is RELAXED
     # Unknown paths (fixtures, scripts) lint under the strict policy.

@@ -59,6 +59,50 @@ def test_gap_validation():
         FlowletRouting(random.Random(1), flowlet_gap_ns=-1)
 
 
+def test_engine_clock_wins_over_observe():
+    """With an engine supplied, gap detection reads the simulation clock
+    directly — a stale observe() call cannot fake a gap."""
+    engine = Engine()
+    policy = FlowletRouting(random.Random(1), flowlet_gap_ns=100 * US,
+                            engine=engine)
+    policy.observe(10_000_000 * US)  # stale/naive caller: ignored
+    policy.choose(pkt(0), 4)
+    policy.choose(pkt(MSS), 4)  # engine.now is still 0: same flowlet
+    assert policy.flowlets_started == 1
+
+
+def test_flowlet_emits_pin_and_move_events():
+    """Flowlet boundaries emit the same flowcut_pin/flowcut_move trace
+    vocabulary as FlowcutRouting, tagged policy='flowlet'."""
+
+    class RecordingTracer:
+        def __init__(self):
+            self.pins = []
+            self.moves = []
+
+        def flowcut_pin(self, now, flow, policy, port):
+            self.pins.append((flow, policy, port))
+
+        def flowcut_move(self, now, flow, policy, old_port, new_port):
+            self.moves.append((flow, policy, old_port, new_port))
+
+    policy = FlowletRouting(random.Random(3), flowlet_gap_ns=10 * US)
+    policy.tracer = tracer = RecordingTracer()
+    policy.observe(0)
+    first = policy.choose(pkt(0), 4)
+    assert tracer.pins == [(FLOW, "flowlet", first)]
+    moved = 0
+    for i in range(1, 30):
+        policy.observe(i * 1000 * US)  # every packet its own flowlet
+        port = policy.choose(pkt(i * MSS), 4)
+        if port != first:
+            moved += 1
+        first = port
+    assert policy.flowlets_moved == moved
+    assert len(tracer.moves) == moved
+    assert all(m[1] == "flowlet" for m in tracer.moves)
+
+
 def test_switch_supplies_time_to_flowlet_policy():
     engine = Engine()
 
